@@ -1,0 +1,155 @@
+package idgka
+
+// Repository-level benchmarks: one per table and figure of the paper's
+// evaluation, so `go test -bench=.` regenerates every result end to end
+// (at bench-friendly group sizes; cmd/gkabench runs the paper's full
+// parameters). Primitive-level benchmarks live next to their packages
+// (gq, dsa, ecdsa, sok, pairing, ec, bdkey).
+
+import (
+	"fmt"
+	"testing"
+
+	"idgka/internal/analytic"
+	"idgka/internal/energy"
+	"idgka/internal/experiments"
+)
+
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	e, err := experiments.NewEnv()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkTable1 regenerates the per-user complexity comparison: one
+// instrumented execution of each of the five protocols.
+func BenchmarkTable1(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Table1(6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the computational-energy extrapolation.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Table2()
+	}
+}
+
+// BenchmarkTable3 regenerates the radio-energy table.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Table3()
+	}
+}
+
+// BenchmarkFigure1 regenerates the energy-versus-group-size comparison
+// (measured up to n=10 per iteration, formulas beyond).
+func BenchmarkFigure1(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Figure1(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates the dynamic-protocol complexity comparison
+// at reduced parameters (n=12, m=4, ld=3).
+func BenchmarkTable4(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Table4(12, 4, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5 regenerates the dynamic-protocol energy comparison at
+// reduced parameters.
+func BenchmarkTable5(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Table5(analytic.Table5Params{N: 12, M: 4, Ld: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstablish measures the full two-round authenticated GKA at
+// several ring sizes over the public API.
+func BenchmarkEstablish(b *testing.B) {
+	auth, err := NewAuthority()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				net := NewNetwork()
+				var members []*Member
+				for j := 0; j < n; j++ {
+					mb, err := auth.NewMember(fmt.Sprintf("m%02d", j))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := net.Attach(mb); err != nil {
+						b.Fatal(err)
+					}
+					members = append(members, mb)
+				}
+				b.StartTimer()
+				if err := Establish(net, members); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkJoin measures the proposed Join against an established group.
+func BenchmarkJoin(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := e.MeasureProposedJoin(8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLeave measures the proposed Leave.
+func BenchmarkLeave(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := e.MeasureProposedLeave(8, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMerge measures the proposed Merge of two groups.
+func BenchmarkMerge(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := e.MeasureProposedMerge(6, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnergyPricing measures the cost-model evaluation itself.
+func BenchmarkEnergyPricing(b *testing.B) {
+	model := energy.DefaultModel()
+	rep := analytic.StaticReport(analytic.ProtoProposed, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = model.EnergyJ(rep)
+	}
+}

@@ -1,0 +1,99 @@
+// Command gkabench regenerates the tables and figure of the paper's
+// evaluation from instrumented protocol executions.
+//
+// Usage:
+//
+//	gkabench -all                      # everything at default parameters
+//	gkabench -table 1 -n 10            # Table 1 at group size 10
+//	gkabench -table 4 -n 100 -m 20 -ld 20
+//	gkabench -table 5 -n 100 -m 20 -ld 20   # the paper's exact setting
+//	gkabench -figure 1 -measured 50    # measure counters up to n=50
+//
+// Tables 4 and 5 at the paper's n=100 execute tens of thousands of real
+// signature verifications for the BD baseline and take a minute or two;
+// the default n=40 keeps runs snappy while preserving every qualitative
+// conclusion.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"idgka/internal/analytic"
+	"idgka/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gkabench: ")
+	table := flag.Int("table", 0, "regenerate one table (1-5)")
+	figure := flag.Int("figure", 0, "regenerate one figure (1)")
+	all := flag.Bool("all", false, "regenerate everything")
+	n := flag.Int("n", 40, "current group size")
+	m := flag.Int("m", 20, "merging group size")
+	ld := flag.Int("ld", 20, "leaving/partitioned users")
+	measured := flag.Int("measured", 10, "largest n measured (not extrapolated) in Figure 1")
+	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
+	flag.Parse()
+
+	if !*all && *table == 0 && *figure == 0 && !*ablations {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	env, err := experiments.NewEnv()
+	if err != nil {
+		log.Fatalf("environment: %v", err)
+	}
+	run := func(name string, f func() (string, error)) {
+		start := time.Now()
+		out, err := f()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s regenerated in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *all || *table == 1 {
+		run("Table 1", func() (string, error) { return env.Table1(*n) })
+	}
+	if *all || *table == 2 {
+		run("Table 2", func() (string, error) { return experiments.Table2(), nil })
+	}
+	if *all || *table == 3 {
+		run("Table 3", func() (string, error) { return experiments.Table3(), nil })
+	}
+	if *all || *figure == 1 {
+		run("Figure 1", func() (string, error) { return env.Figure1(*measured) })
+	}
+	if *all || *table == 4 {
+		run("Table 4", func() (string, error) { return env.Table4(*n, *m, *ld) })
+	}
+	if *all || *table == 5 {
+		run("Table 5", func() (string, error) {
+			return env.Table5(analytic.Table5Params{N: *n, M: *m, Ld: *ld})
+		})
+	}
+	if *all || *ablations {
+		run("Ablation: batch verification", func() (string, error) {
+			return experiments.AblationBatchVerify([]int{10, 50, 100, 500}), nil
+		})
+		run("Ablation: strict nonce refresh", func() (string, error) {
+			return env.AblationStrictNonces(*n, 1)
+		})
+		run("Related work (ING, GDH.2)", func() (string, error) {
+			return env.RelatedWork(min(*n, 20))
+		})
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

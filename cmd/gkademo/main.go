@@ -1,0 +1,156 @@
+// Command gkademo walks a simulated MANET group through its whole
+// lifecycle — initial authenticated key agreement, a join, a leave, a
+// merge with a second group and a partition — printing the ring, the key
+// fingerprints and the per-member energy bill after each event.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"log"
+
+	"idgka"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gkademo: ")
+	n := flag.Int("n", 5, "initial group size")
+	flag.Parse()
+	if *n < 2 {
+		log.Fatal("-n must be >= 2")
+	}
+
+	auth, err := idgka.NewAuthority()
+	if err != nil {
+		log.Fatalf("authority: %v", err)
+	}
+	net := idgka.NewNetwork()
+	model := idgka.DefaultEnergyModel()
+
+	var group []*idgka.Member
+	for i := 0; i < *n; i++ {
+		mb, err := auth.NewMember(fmt.Sprintf("node-%02d", i+1))
+		if err != nil {
+			log.Fatalf("member: %v", err)
+		}
+		if err := net.Attach(mb); err != nil {
+			log.Fatalf("attach: %v", err)
+		}
+		group = append(group, mb)
+	}
+
+	show := func(event string, members []*idgka.Member) {
+		fmt.Printf("== %s ==\n", event)
+		key := members[0].GroupKey()
+		fp := sha256.Sum256(key)
+		fmt.Printf("  ring: %v\n", members[0].Roster())
+		fmt.Printf("  key fingerprint: %x\n", fp[:8])
+		for _, mb := range members {
+			r := mb.Report()
+			fmt.Printf("  %-8s exp=%d sig(gen/ver)=%d/%d sym(enc/dec)=%d/%d tx/rx=%dB/%dB energy=%.2f mJ\n",
+				mb.ID(), r.Exp, r.TotalSignGen(), r.TotalSignVer(), r.SymEnc, r.SymDec,
+				r.BytesTx, r.BytesRx, model.EnergyJ(r)*1000)
+		}
+		fmt.Println()
+	}
+
+	// 1. Initial two-round authenticated GKA.
+	if err := idgka.Establish(net, group); err != nil {
+		log.Fatalf("establish: %v", err)
+	}
+	show("initial group key agreement", group)
+
+	// 2. A new node joins.
+	joiner, err := auth.NewMember("joiner-1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := net.Attach(joiner); err != nil {
+		log.Fatal(err)
+	}
+	for _, mb := range group {
+		mb.ResetReport()
+	}
+	if err := idgka.Join(net, group, joiner); err != nil {
+		log.Fatalf("join: %v", err)
+	}
+	group = append(group, joiner)
+	show("join (3 rounds, 4 messages)", group)
+
+	// 3. One member leaves.
+	leaver := group[1].ID()
+	for _, mb := range group {
+		mb.ResetReport()
+	}
+	if err := idgka.Leave(net, group, leaver); err != nil {
+		log.Fatalf("leave: %v", err)
+	}
+	var survivors []*idgka.Member
+	for _, mb := range group {
+		if mb.ID() != leaver {
+			survivors = append(survivors, mb)
+		}
+	}
+	net.Detach(leaver)
+	group = survivors
+	show(fmt.Sprintf("leave of %s (2 rounds)", leaver), group)
+
+	// 4. Merge with a second group.
+	sub := idgka.NewNetwork()
+	var groupB []*idgka.Member
+	for i := 0; i < 3; i++ {
+		mb, err := auth.NewMember(fmt.Sprintf("peer-%02d", i+1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sub.Attach(mb); err != nil {
+			log.Fatal(err)
+		}
+		groupB = append(groupB, mb)
+	}
+	if err := idgka.Establish(sub, groupB); err != nil {
+		log.Fatalf("group B establish: %v", err)
+	}
+	for _, mb := range groupB {
+		if err := net.Attach(mb); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, mb := range append(append([]*idgka.Member{}, group...), groupB...) {
+		mb.ResetReport()
+	}
+	if err := idgka.Merge(net, group, groupB); err != nil {
+		log.Fatalf("merge: %v", err)
+	}
+	group = append(group, groupB...)
+	show("merge with 3-node group (3 rounds, 6 messages)", group)
+
+	// 5. Partition: the merged peers drop out of range.
+	var leavers []string
+	for _, mb := range groupB {
+		leavers = append(leavers, mb.ID())
+	}
+	for _, mb := range group {
+		mb.ResetReport()
+	}
+	if err := idgka.Partition(net, group, leavers); err != nil {
+		log.Fatalf("partition: %v", err)
+	}
+	survivors = nil
+	out := map[string]bool{}
+	for _, id := range leavers {
+		out[id] = true
+		net.Detach(id)
+	}
+	for _, mb := range group {
+		if !out[mb.ID()] {
+			survivors = append(survivors, mb)
+		}
+	}
+	show(fmt.Sprintf("partition of %v (2 rounds)", leavers), survivors)
+
+	msgs, bytes := net.Totals()
+	fmt.Printf("medium totals since start: %d messages, %d bytes\n", msgs, bytes)
+}

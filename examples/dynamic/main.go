@@ -1,0 +1,121 @@
+// Dynamic membership: a mobile ad-hoc group that nodes join and leave,
+// that splits when vehicles drive apart and re-merges when they meet —
+// the scenario the paper's Section 7 protocols are designed for.
+//
+//	go run ./examples/dynamic
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"log"
+
+	"idgka"
+)
+
+func fingerprint(m *idgka.Member) string {
+	fp := sha256.Sum256(m.GroupKey())
+	return fmt.Sprintf("%x", fp[:6])
+}
+
+func main() {
+	log.SetFlags(0)
+	authority, err := idgka.NewAuthority()
+	if err != nil {
+		log.Fatal(err)
+	}
+	network := idgka.NewNetwork()
+
+	newNode := func(id string) *idgka.Member {
+		m, err := authority.NewMember(id)
+		if err != nil {
+			log.Fatalf("extract %s: %v", id, err)
+		}
+		if err := network.Attach(m); err != nil {
+			log.Fatalf("attach %s: %v", id, err)
+		}
+		return m
+	}
+
+	// A convoy of six vehicles establishes a key.
+	var convoy []*idgka.Member
+	for i := 1; i <= 6; i++ {
+		convoy = append(convoy, newNode(fmt.Sprintf("car-%d", i)))
+	}
+	if err := idgka.Establish(network, convoy); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("convoy keyed: ring=%v key=%s\n", convoy[0].Roster(), fingerprint(convoy[0]))
+
+	// A seventh vehicle catches up: 3-round Join, only three nodes do any
+	// public-key work.
+	late := newNode("car-7")
+	if err := idgka.Join(network, convoy, late); err != nil {
+		log.Fatal(err)
+	}
+	convoy = append(convoy, late)
+	fmt.Printf("car-7 joined:  ring=%v key=%s\n", convoy[0].Roster(), fingerprint(convoy[0]))
+
+	// car-3 exits the highway: 2-round Leave; its old key is useless now.
+	if err := idgka.Leave(network, convoy, "car-3"); err != nil {
+		log.Fatal(err)
+	}
+	stale := fingerprint(convoy[2]) // car-3's stale view
+	var remaining []*idgka.Member
+	for _, m := range convoy {
+		if m.ID() != "car-3" {
+			remaining = append(remaining, m)
+		}
+	}
+	network.Detach("car-3")
+	convoy = remaining
+	fmt.Printf("car-3 left:    ring=%v key=%s (car-3 still sees %s)\n",
+		convoy[0].Roster(), fingerprint(convoy[0]), stale)
+
+	// A second convoy appears at an on-ramp with its own key...
+	side := idgka.NewNetwork()
+	var vans []*idgka.Member
+	for i := 1; i <= 3; i++ {
+		v, err := authority.NewMember(fmt.Sprintf("van-%d", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := side.Attach(v); err != nil {
+			log.Fatal(err)
+		}
+		vans = append(vans, v)
+	}
+	if err := idgka.Establish(side, vans); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("van convoy:    ring=%v key=%s\n", vans[0].Roster(), fingerprint(vans[0]))
+
+	// ...and merges: 3 rounds, 6 messages, only the two controllers
+	// exponentiate.
+	for _, v := range vans {
+		if err := network.Attach(v); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := idgka.Merge(network, convoy, vans); err != nil {
+		log.Fatal(err)
+	}
+	convoy = append(convoy, vans...)
+	fmt.Printf("merged:        ring=%v key=%s\n", convoy[0].Roster(), fingerprint(convoy[0]))
+
+	// The vans take a different route: Partition removes all three at
+	// once.
+	if err := idgka.Partition(network, convoy, []string{"van-1", "van-2", "van-3"}); err != nil {
+		log.Fatal(err)
+	}
+	var cars []*idgka.Member
+	for _, m := range convoy {
+		if m.ID()[0] == 'c' {
+			cars = append(cars, m)
+		}
+	}
+	fmt.Printf("partitioned:   ring=%v key=%s\n", cars[0].Roster(), fingerprint(cars[0]))
+
+	msgs, bytes := network.Totals()
+	fmt.Printf("\nwhole lifecycle: %d messages, %d bytes on the medium\n", msgs, bytes)
+}

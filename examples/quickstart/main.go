@@ -1,0 +1,94 @@
+// Quickstart: establish an authenticated group key among five wireless
+// nodes with the paper's two-round protocol and use it to protect a
+// message.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+	"log"
+
+	"idgka"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The PKG (Setup): owns the system parameters and master keys. Every
+	// node later receives only the public parameters plus its own
+	// identity key — no certificates anywhere.
+	authority, err := idgka.NewAuthority()
+	if err != nil {
+		log.Fatalf("authority: %v", err)
+	}
+
+	// A shared broadcast medium (radio range).
+	network := idgka.NewNetwork()
+
+	// Extract identity keys for five nodes and attach them. The slice
+	// order is the ring order; the first member acts as the trusted
+	// controller U_1.
+	ids := []string{"gateway", "sensor-a", "sensor-b", "sensor-c", "relay"}
+	var members []*idgka.Member
+	for _, id := range ids {
+		m, err := authority.NewMember(id)
+		if err != nil {
+			log.Fatalf("extract %s: %v", id, err)
+		}
+		if err := network.Attach(m); err != nil {
+			log.Fatalf("attach %s: %v", id, err)
+		}
+		members = append(members, m)
+	}
+
+	// Two rounds of broadcasts, one batch signature verification per node,
+	// and everyone holds the same key.
+	if err := idgka.Establish(network, members); err != nil {
+		log.Fatalf("establish: %v", err)
+	}
+
+	key := members[0].GroupKey()
+	fp := sha256.Sum256(key)
+	fmt.Printf("group of %d established; key fingerprint %x\n", len(members), fp[:8])
+	for _, m := range members {
+		other := sha256.Sum256(m.GroupKey())
+		if other != fp {
+			log.Fatalf("%s disagrees on the key!", m.ID())
+		}
+	}
+
+	// Use the agreed key for secure group communication.
+	block, err := aes.NewCipher(fp[:16])
+	if err != nil {
+		log.Fatal(err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		log.Fatal(err)
+	}
+	ct := aead.Seal(nil, nonce, []byte("sensor readings: 21.4C, 48%RH"), nil)
+	pt, err := aead.Open(nil, nonce, ct, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("broadcast protected under the group key: %q\n", pt)
+
+	// What did it cost each node? (paper's Table 1 row: 3 exponentiations,
+	// 1 signature generation, 1 batch verification, 2 tx, 2(n-1) rx.)
+	model := idgka.DefaultEnergyModel()
+	for _, m := range members {
+		r := m.Report()
+		fmt.Printf("  %-9s exp=%d sigGen=%d sigVer=%d tx=%dB rx=%dB -> %.1f mJ\n",
+			m.ID(), r.Exp, r.TotalSignGen(), r.TotalSignVer(), r.BytesTx, r.BytesRx,
+			model.EnergyJ(r)*1000)
+	}
+}

@@ -1,0 +1,236 @@
+// Package idgka is an implementation of the energy-efficient ID-based
+// authenticated group key agreement protocols of Tan & Teo (IPDPS 2006)
+// for wireless networks, together with every substrate the paper's
+// evaluation depends on: the GQ identity-based signature scheme with batch
+// verification, the Burmester-Desmedt ring protocol, certificate-based
+// (DSA/ECDSA) and pairing-based (SOK) baselines, a broadcast network
+// simulator with operation metering, and the StrongARM/radio energy model
+// of the paper's Section 6.
+//
+// Quick start:
+//
+//	auth, _ := idgka.NewAuthority()            // the PKG (Setup)
+//	net := idgka.NewNetwork()                  // shared broadcast medium
+//	alice, _ := auth.NewMember("alice")        // Extract + member state
+//	bob, _ := auth.NewMember("bob")
+//	carol, _ := auth.NewMember("carol")
+//	members := []*idgka.Member{alice, bob, carol}
+//	for _, m := range members {
+//	    net.Attach(m)
+//	}
+//	_ = idgka.Establish(net, members)          // 2-round authenticated GKA
+//	key := alice.GroupKey()                    // == bob.GroupKey() ...
+//
+// Dynamic membership (the paper's Section 7):
+//
+//	idgka.Join(net, members, dave)
+//	idgka.Leave(net, group, "bob")
+//	idgka.Partition(net, group, []string{"carol", "erin"})
+//	idgka.Merge(net, groupA, groupB)
+//
+// Every member carries an operation meter; price it with the paper's
+// energy model:
+//
+//	model := idgka.DefaultEnergyModel()
+//	joules := model.EnergyJ(alice.Report())
+package idgka
+
+import (
+	"crypto/rand"
+	"errors"
+	"io"
+
+	"idgka/internal/core"
+	"idgka/internal/energy"
+	"idgka/internal/meter"
+	"idgka/internal/netsim"
+	"idgka/internal/params"
+	"idgka/internal/pki"
+)
+
+// Report is the operation-counter snapshot of one member: group
+// exponentiations, signature operations, certificate handling, symmetric
+// operations and radio traffic.
+type Report = meter.Report
+
+// EnergyModel prices Reports in Joules using the paper's per-operation
+// cost tables.
+type EnergyModel = energy.Model
+
+// Config tunes member behaviour; see the field docs in internal/core.
+type Config struct {
+	// Rand overrides the randomness source (crypto/rand by default).
+	Rand io.Reader
+	// MaxRetries bounds the retransmission loop on verification failure.
+	MaxRetries int
+	// StrictNonceRefresh makes Leave/Partition survivors refresh their GQ
+	// commitments instead of reusing them as the paper (unsafely)
+	// specifies.
+	StrictNonceRefresh bool
+}
+
+// Authority is the paper's PKG: it owns the system parameters and master
+// keys and extracts identity keys for members.
+type Authority struct {
+	pkg *pki.PKG
+	set *params.Set
+}
+
+// NewAuthority creates an authority on the embedded production-size
+// parameter set (1024-bit group, 160-bit exponents, 1024-bit GQ modulus).
+// Deterministic and fast; for fresh parameters use GenerateAuthority.
+func NewAuthority() (*Authority, error) {
+	return newAuthority(params.Default())
+}
+
+// GenerateAuthority creates an authority with freshly generated parameters
+// at the paper's sizes. This runs prime searches and takes seconds.
+func GenerateAuthority(r io.Reader) (*Authority, error) {
+	if r == nil {
+		r = rand.Reader
+	}
+	set, err := params.Generate(r, params.SizeProduction)
+	if err != nil {
+		return nil, err
+	}
+	return newAuthority(set)
+}
+
+func newAuthority(set *params.Set) (*Authority, error) {
+	p, err := pki.NewPKG(rand.Reader, set)
+	if err != nil {
+		return nil, err
+	}
+	return &Authority{pkg: p, set: set}, nil
+}
+
+// Member is one protocol participant, bound to an extracted identity key.
+type Member struct {
+	inner *core.Member
+	m     *meter.Meter
+}
+
+// NewMember extracts an identity key and builds a participant with default
+// configuration.
+func (a *Authority) NewMember(id string) (*Member, error) {
+	return a.NewMemberWithConfig(id, Config{})
+}
+
+// NewMemberWithConfig extracts an identity key and builds a participant.
+func (a *Authority) NewMemberWithConfig(id string, cfg Config) (*Member, error) {
+	sk, err := a.pkg.ExtractGQ(id)
+	if err != nil {
+		return nil, err
+	}
+	m := meter.New()
+	inner, err := core.NewMember(core.Config{
+		Set:                a.set.Public(),
+		Rand:               cfg.Rand,
+		MaxRetries:         cfg.MaxRetries,
+		StrictNonceRefresh: cfg.StrictNonceRefresh,
+	}, sk, m)
+	if err != nil {
+		return nil, err
+	}
+	return &Member{inner: inner, m: m}, nil
+}
+
+// ID returns the member identity.
+func (mb *Member) ID() string { return mb.inner.ID() }
+
+// GroupKey returns the current group key as key material for a symmetric
+// session (nil before a session is established).
+func (mb *Member) GroupKey() []byte {
+	k := mb.inner.Key()
+	if k == nil {
+		return nil
+	}
+	return k.Bytes()
+}
+
+// Roster returns the current ring order, or nil before establishment.
+func (mb *Member) Roster() []string {
+	s := mb.inner.Session()
+	if s == nil {
+		return nil
+	}
+	return append([]string(nil), s.Roster...)
+}
+
+// Report snapshots the member's operation counters.
+func (mb *Member) Report() Report { return mb.m.Report() }
+
+// ResetReport clears the member's operation counters.
+func (mb *Member) ResetReport() { mb.m.Reset() }
+
+// Network is the shared broadcast medium members communicate over.
+type Network struct {
+	inner *netsim.Network
+}
+
+// NewNetwork creates an empty medium.
+func NewNetwork() *Network { return &Network{inner: netsim.New()} }
+
+// Attach registers a member on the medium.
+func (n *Network) Attach(mb *Member) error {
+	return n.inner.Register(mb.ID(), mb.m)
+}
+
+// Detach removes a member from the medium (e.g. after it leaves).
+func (n *Network) Detach(id string) { n.inner.Unregister(id) }
+
+// Totals reports medium-wide message and byte counts.
+func (n *Network) Totals() (msgs int, bytes int64) { return n.inner.Totals() }
+
+// unwrap converts the public slice to the internal one.
+func unwrap(members []*Member) []*core.Member {
+	out := make([]*core.Member, len(members))
+	for i, m := range members {
+		out[i] = m.inner
+	}
+	return out
+}
+
+// Establish runs the two-round authenticated group key agreement of the
+// paper's Section 4 over the network. members[0] acts as the trusted
+// controller U_1; the slice order is the ring order.
+func Establish(n *Network, members []*Member) error {
+	if n == nil || len(members) < 2 {
+		return errors.New("idgka: Establish needs a network and >= 2 members")
+	}
+	return core.RunInitial(n.inner, unwrap(members))
+}
+
+// Join admits joiner into the established group (3 rounds; Section 7).
+// The joiner must already be attached to the network.
+func Join(n *Network, members []*Member, joiner *Member) error {
+	return core.RunJoin(n.inner, unwrap(members), joiner.inner)
+}
+
+// Leave removes one member and re-keys the survivors (2 rounds).
+func Leave(n *Network, members []*Member, leaver string) error {
+	return core.RunLeave(n.inner, unwrap(members), leaver)
+}
+
+// Partition removes a set of members and re-keys the survivors (2 rounds).
+func Partition(n *Network, members []*Member, leavers []string) error {
+	return core.RunPartition(n.inner, unwrap(members), leavers)
+}
+
+// Merge fuses two established groups into one (3 rounds). All members of
+// both groups must be attached to the same network.
+func Merge(n *Network, groupA, groupB []*Member) error {
+	return core.RunMerge(n.inner, unwrap(groupA), unwrap(groupB))
+}
+
+// DefaultEnergyModel returns the paper's Table 5 configuration: 133 MHz
+// StrongARM with the Spectrum24 WLAN card.
+func DefaultEnergyModel() EnergyModel { return energy.DefaultModel() }
+
+// SensorEnergyModel returns StrongARM with the 100 kbps sensor-class
+// transceiver (the other radio of Figure 1).
+func SensorEnergyModel() EnergyModel {
+	m := energy.DefaultModel()
+	m.Radio = energy.Radio100kbps()
+	return m
+}

@@ -1,0 +1,98 @@
+package analytic
+
+import (
+	"testing"
+
+	"idgka/internal/meter"
+)
+
+func TestStaticReportProposed(t *testing.T) {
+	for _, n := range []int{2, 10, 100, 500} {
+		r := StaticReport(ProtoProposed, n)
+		if r.Exp != 3 || r.MsgTx != 2 || r.MsgRx != 2*(n-1) {
+			t.Fatalf("n=%d: %+v", n, r)
+		}
+		if r.SignVer[meter.SchemeGQ] != 1 {
+			t.Fatalf("n=%d: batch verification must stay 1", n)
+		}
+		if r.CertTx+r.CertRx+r.CertVer+r.MapToPoint != 0 {
+			t.Fatalf("n=%d: proposed scheme must be cert/pairing free", n)
+		}
+	}
+}
+
+func TestStaticReportScalesPerPeer(t *testing.T) {
+	for _, p := range []Protocol{ProtoBDSOK, ProtoBDECDSA, ProtoBDDSA} {
+		small := StaticReport(p, 10)
+		large := StaticReport(p, 100)
+		if large.TotalSignVer()-small.TotalSignVer() != 90 {
+			t.Fatalf("%s: SignVer must grow one per peer", p)
+		}
+	}
+	if StaticReport(ProtoSSN, 100).Exp != 202 {
+		t.Fatalf("SSN Exp at n=100: %d, want 202", StaticReport(ProtoSSN, 100).Exp)
+	}
+}
+
+func TestStaticReportBytesGrow(t *testing.T) {
+	for _, p := range AllProtocols() {
+		small := StaticReport(p, 10)
+		large := StaticReport(p, 50)
+		if large.BytesRx <= small.BytesRx {
+			t.Fatalf("%s: BytesRx must grow with n", p)
+		}
+		if large.BytesTx != small.BytesTx {
+			t.Fatalf("%s: per-user BytesTx must not depend on n", p)
+		}
+	}
+}
+
+func TestPaperExp(t *testing.T) {
+	if PaperExp(ProtoSSN, 100) != 204 {
+		t.Fatal("paper SSN formula is 2n+4")
+	}
+	if PaperExp(ProtoProposed, 100) != 3 {
+		t.Fatal("paper proposed Exp is 3")
+	}
+}
+
+func TestPaperTable4Evaluation(t *testing.T) {
+	rows := PaperTable4(100, 20, 20, 50, 2)
+	byKey := map[string]Table4Paper{}
+	for _, r := range rows {
+		byKey[r.Protocol+"/"+r.Event] = r
+	}
+	if byKey["BD re-run/Join"].MsgCount != 202 {
+		t.Fatalf("BD join msgs: %d", byKey["BD re-run/Join"].MsgCount)
+	}
+	if byKey["Proposed/Merge"].MsgCount != 6 {
+		t.Fatalf("proposed merge msgs: %d", byKey["Proposed/Merge"].MsgCount)
+	}
+	if byKey["Proposed/Leave"].MsgCount != 148 { // v + n - 2 = 50+100-2
+		t.Fatalf("proposed leave msgs: %d", byKey["Proposed/Leave"].MsgCount)
+	}
+}
+
+func TestUnknownProtocolPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	StaticReport(Protocol("bogus"), 10)
+}
+
+func TestPaperTable5Coverage(t *testing.T) {
+	// Every proposed-protocol role of Table 5 must be present.
+	for _, k := range []string{
+		"proposed/join/U1", "proposed/join/Un", "proposed/join/joiner", "proposed/join/others",
+		"proposed/leave/odd", "proposed/leave/even",
+		"proposed/merge/U1", "proposed/merge/Un1", "proposed/merge/others",
+		"proposed/partition/odd", "proposed/partition/even",
+		"bd/join/members", "bd/leave/members", "bd/merge/groupA", "bd/partition/members",
+	} {
+		if _, ok := PaperTable5J[k]; !ok {
+			t.Fatalf("missing paper constant %q", k)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package baseline
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+
+	"idgka/internal/ec"
+	"idgka/internal/meter"
+	"idgka/internal/pki"
+	"idgka/internal/sigs/dsa"
+	"idgka/internal/sigs/ecdsa"
+	"idgka/internal/sigs/sok"
+)
+
+func newBig(b []byte) *big.Int { return new(big.Int).SetBytes(b) }
+
+// SOKAuth authenticates BD with Sakai-Ohgishi-Kasahara ID-based
+// signatures: no certificates, but every verification costs three pairings
+// plus a MapToPoint.
+type SOKAuth struct {
+	params sok.SystemParams
+	sk     *sok.PrivateKey
+}
+
+// NewSOKAuth builds the authenticator for one member.
+func NewSOKAuth(params sok.SystemParams, sk *sok.PrivateKey) *SOKAuth {
+	return &SOKAuth{params: params, sk: sk}
+}
+
+// Scheme implements Authenticator.
+func (a *SOKAuth) Scheme() meter.Scheme { return meter.SchemeSOK }
+
+// Sign implements Authenticator.
+func (a *SOKAuth) Sign(rnd io.Reader, msg []byte) ([]byte, error) {
+	sig, err := a.sk.Sign(rnd, msg)
+	if err != nil {
+		return nil, err
+	}
+	return sig.Encode(a.params.Group), nil
+}
+
+// Verify implements Authenticator.
+func (a *SOKAuth) Verify(peerID string, msg, sigBytes []byte) error {
+	sig, err := sok.Decode(a.params.Group, sigBytes)
+	if err != nil {
+		return err
+	}
+	return sok.Verify(a.params, peerID, msg, sig)
+}
+
+// Credential implements Authenticator (ID-based: none).
+func (a *SOKAuth) Credential() []byte { return nil }
+
+// CheckCredential implements Authenticator (ID-based: none expected).
+func (a *SOKAuth) CheckCredential(string, []byte) error { return nil }
+
+// UsesMapToPoint implements Authenticator.
+func (a *SOKAuth) UsesMapToPoint() bool { return true }
+
+// ECDSAAuth authenticates BD with certificate-based ECDSA (secp160r1): the
+// cheapest per-verification baseline, but each member must ship, receive
+// and verify certificates.
+type ECDSAAuth struct {
+	kp     *ecdsa.KeyPair
+	cert   *pki.Certificate
+	anchor *pki.TrustAnchor
+
+	mu    sync.Mutex
+	peers map[string]*ecdsa.KeyPair // verified peer keys
+}
+
+// NewECDSAAuth builds the authenticator from the member's key pair, its
+// CA-issued certificate and the CA trust anchor.
+func NewECDSAAuth(kp *ecdsa.KeyPair, cert *pki.Certificate, anchor *pki.TrustAnchor) *ECDSAAuth {
+	return &ECDSAAuth{kp: kp, cert: cert, anchor: anchor, peers: map[string]*ecdsa.KeyPair{}}
+}
+
+// Scheme implements Authenticator.
+func (a *ECDSAAuth) Scheme() meter.Scheme { return meter.SchemeECDSA }
+
+// Sign implements Authenticator.
+func (a *ECDSAAuth) Sign(rnd io.Reader, msg []byte) ([]byte, error) {
+	sig, err := a.kp.Sign(rnd, msg)
+	if err != nil {
+		return nil, err
+	}
+	return sig.Encode(a.kp.Curve), nil
+}
+
+// Verify implements Authenticator.
+func (a *ECDSAAuth) Verify(peerID string, msg, sigBytes []byte) error {
+	a.mu.Lock()
+	peer := a.peers[peerID]
+	a.mu.Unlock()
+	if peer == nil {
+		return fmt.Errorf("baseline: no verified certificate for %s", peerID)
+	}
+	sig, err := ecdsa.Decode(sigBytes, peer.Curve)
+	if err != nil {
+		return err
+	}
+	return peer.Verify(msg, sig)
+}
+
+// Credential implements Authenticator.
+func (a *ECDSAAuth) Credential() []byte { return a.cert.Encode() }
+
+// CheckCredential implements Authenticator: verify the CA signature and
+// cache the bound public key.
+func (a *ECDSAAuth) CheckCredential(peerID string, cred []byte) error {
+	cert, err := pki.DecodeCertificate(cred)
+	if err != nil {
+		return err
+	}
+	if cert.Subject != peerID {
+		return fmt.Errorf("baseline: certificate subject %q != sender %q", cert.Subject, peerID)
+	}
+	if err := a.anchor.VerifyCertificate(cert); err != nil {
+		return err
+	}
+	curve := a.kp.Curve
+	pt, err := curve.UnmarshalCompressed(cert.PublicKey)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.peers[peerID] = &ecdsa.KeyPair{Curve: curve, Q: pt}
+	a.mu.Unlock()
+	return nil
+}
+
+// UsesMapToPoint implements Authenticator.
+func (a *ECDSAAuth) UsesMapToPoint() bool { return false }
+
+// NewECDSAIdentity issues a key pair plus certificate for one member.
+func NewECDSAIdentity(rnd io.Reader, id string, curve *ec.Curve, ca *pki.CA) (*ECDSAAuth, error) {
+	kp, err := ecdsa.GenerateKey(rnd, curve)
+	if err != nil {
+		return nil, err
+	}
+	cert, err := ca.Issue(rnd, id, curve.MarshalCompressed(kp.Q))
+	if err != nil {
+		return nil, err
+	}
+	return NewECDSAAuth(kp, cert, ca.Anchor()), nil
+}
+
+// DSAAuth authenticates BD with certificate-based 1024-bit DSA.
+type DSAAuth struct {
+	kp     *dsa.KeyPair
+	cert   *pki.Certificate
+	anchor *pki.TrustAnchor
+
+	mu    sync.Mutex
+	peers map[string]*dsa.KeyPair
+}
+
+// NewDSAAuth builds the authenticator from key pair, certificate and
+// anchor.
+func NewDSAAuth(kp *dsa.KeyPair, cert *pki.Certificate, anchor *pki.TrustAnchor) *DSAAuth {
+	return &DSAAuth{kp: kp, cert: cert, anchor: anchor, peers: map[string]*dsa.KeyPair{}}
+}
+
+// Scheme implements Authenticator.
+func (a *DSAAuth) Scheme() meter.Scheme { return meter.SchemeDSA }
+
+// Sign implements Authenticator.
+func (a *DSAAuth) Sign(rnd io.Reader, msg []byte) ([]byte, error) {
+	sig, err := a.kp.Sign(rnd, msg)
+	if err != nil {
+		return nil, err
+	}
+	return sig.Encode(a.kp.Group.Q), nil
+}
+
+// Verify implements Authenticator.
+func (a *DSAAuth) Verify(peerID string, msg, sigBytes []byte) error {
+	a.mu.Lock()
+	peer := a.peers[peerID]
+	a.mu.Unlock()
+	if peer == nil {
+		return fmt.Errorf("baseline: no verified certificate for %s", peerID)
+	}
+	sig, err := dsa.Decode(sigBytes, peer.Group.Q)
+	if err != nil {
+		return err
+	}
+	return peer.Verify(msg, sig)
+}
+
+// Credential implements Authenticator.
+func (a *DSAAuth) Credential() []byte { return a.cert.Encode() }
+
+// CheckCredential implements Authenticator.
+func (a *DSAAuth) CheckCredential(peerID string, cred []byte) error {
+	cert, err := pki.DecodeCertificate(cred)
+	if err != nil {
+		return err
+	}
+	if cert.Subject != peerID {
+		return fmt.Errorf("baseline: certificate subject %q != sender %q", cert.Subject, peerID)
+	}
+	if err := a.anchor.VerifyCertificate(cert); err != nil {
+		return err
+	}
+	y := newBig(cert.PublicKey)
+	a.mu.Lock()
+	a.peers[peerID] = &dsa.KeyPair{Group: a.kp.Group, Y: y}
+	a.mu.Unlock()
+	return nil
+}
+
+// UsesMapToPoint implements Authenticator.
+func (a *DSAAuth) UsesMapToPoint() bool { return false }
+
+// NewDSAIdentity issues a key pair plus certificate for one member.
+func NewDSAIdentity(rnd io.Reader, id string, ca *pki.CA, kp *dsa.KeyPair) (*DSAAuth, error) {
+	cert, err := ca.Issue(rnd, id, kp.Y.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return NewDSAAuth(kp, cert, ca.Anchor()), nil
+}

@@ -1,0 +1,241 @@
+package baseline
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"idgka/internal/mathx"
+	"idgka/internal/meter"
+	"idgka/internal/netsim"
+	"idgka/internal/params"
+	"idgka/internal/wire"
+)
+
+// This file implements the two historical group-key-agreement protocols
+// the paper's related-work section is built on, as unauthenticated keying
+// cores (the paper compares authenticated BD variants; these serve as
+// extension baselines showing why ring/broadcast protocols won):
+//
+//   - ING (Ingemarsson-Tang-Wong 1982, [7]): n-1 rounds around a ring;
+//     member i raises whatever it received to its own exponent and passes
+//     it on. After n-1 hops every member holds g^{r_1 r_2 ··· r_n}.
+//   - GDH.2 (Steiner-Tsudik-Waidner, [15]): an upflow chain that
+//     accumulates partial products followed by one broadcast by the last
+//     member; key is g^{r_1 ··· r_n}.
+//
+// Both cost Θ(n) rounds or Θ(n)-sized messages, which is exactly the
+// overhead the Burmester-Desmedt construction (2 rounds, constant-size
+// messages) removed — the comparison cmd/gkabench -related prints.
+
+// Message labels.
+const (
+	MsgINGPass   = "ing/pass"    // unicast ring hop
+	MsgGDHUpflow = "gdh2/upflow" // unicast chain hop
+	MsgGDHBcast  = "gdh2/bcast"  // final broadcast
+)
+
+// RingParticipant is a member of an ING or GDH.2 run.
+type RingParticipant struct {
+	id  string
+	set *params.Set
+	m   *meter.Meter
+
+	r   *big.Int
+	key *big.Int
+}
+
+// NewRingParticipant builds a member for the historical protocols.
+func NewRingParticipant(id string, set *params.Set, m *meter.Meter) (*RingParticipant, error) {
+	if id == "" || set == nil {
+		return nil, errors.New("baseline: incomplete ring participant")
+	}
+	return &RingParticipant{id: id, set: set, m: m}, nil
+}
+
+// ID returns the member identity.
+func (p *RingParticipant) ID() string { return p.id }
+
+// Key returns the agreed key (nil before a run).
+func (p *RingParticipant) Key() *big.Int { return p.key }
+
+// Meter returns the member's meter.
+func (p *RingParticipant) Meter() *meter.Meter { return p.m }
+
+// RunING executes the Ingemarsson et al. ring protocol: n-1 rounds, each
+// member performing one exponentiation per round (n-1 total) and passing
+// the intermediate value to its ring successor. The key is
+// g^{r_1 r_2 ··· r_n}.
+func RunING(net netsim.Medium, parts []*RingParticipant) error {
+	n := len(parts)
+	if n < 2 {
+		return errors.New("baseline: ING needs at least 2 members")
+	}
+	sg := parts[0].set.Schnorr
+	// Draw exponents; hold the current intermediate value per member,
+	// starting from g itself (round 0 computes g^{r_i}).
+	current := make([]*big.Int, n)
+	for i, p := range parts {
+		r, err := mathx.RandScalar(sym2rand(), sg.Q)
+		if err != nil {
+			return err
+		}
+		p.r = r
+		current[i] = new(big.Int).Exp(sg.G, r, sg.P)
+		p.m.Exp(1)
+	}
+	// n-1 ring hops: member i sends its value to i+1, receives from i-1,
+	// raises to its own exponent.
+	for round := 1; round < n; round++ {
+		// Send phase.
+		for i, p := range parts {
+			next := parts[(i+1)%n]
+			payload := wire.NewBuffer().PutString(p.id).PutBig(current[i]).Bytes()
+			if err := net.Send(p.id, next.id, MsgINGPass, payload); err != nil {
+				return err
+			}
+		}
+		// Receive + exponentiate phase.
+		incoming := make([]*big.Int, n)
+		for i, p := range parts {
+			msgs, err := net.RecvType(p.id, MsgINGPass)
+			if err != nil {
+				return err
+			}
+			if len(msgs) != 1 {
+				return fmt.Errorf("baseline: ING %s expected 1 hop message, got %d", p.id, len(msgs))
+			}
+			rd := wire.NewReader(msgs[0].Payload)
+			_ = rd.String()
+			v := rd.Big()
+			if err := rd.Close(); err != nil {
+				return err
+			}
+			incoming[i] = new(big.Int).Exp(v, p.r, sg.P)
+			p.m.Exp(1)
+		}
+		copy(current, incoming)
+	}
+	for i, p := range parts {
+		p.key = current[i]
+	}
+	// Agreement sanity: all equal g^{Πr_i}.
+	for _, p := range parts[1:] {
+		if p.key.Cmp(parts[0].key) != 0 {
+			return errors.New("baseline: ING members disagree")
+		}
+	}
+	return nil
+}
+
+// RunGDH2 executes Steiner et al.'s GDH.2: an upflow pass in which member
+// i receives i partial values, exponentiates each, appends g^{r_1···r_i},
+// and forwards; the last member broadcasts the n-1 partials from which
+// each member lifts its own slot to the group key g^{r_1···r_n}.
+func RunGDH2(net netsim.Medium, parts []*RingParticipant) error {
+	n := len(parts)
+	if n < 2 {
+		return errors.New("baseline: GDH.2 needs at least 2 members")
+	}
+	sg := parts[0].set.Schnorr
+	for _, p := range parts {
+		r, err := mathx.RandScalar(sym2rand(), sg.Q)
+		if err != nil {
+			return err
+		}
+		p.r = r
+	}
+	// Upflow invariant after member i processes: flow[0] carries all
+	// exponents drawn so far, and flow[j] (j >= 1) misses exactly member
+	// j-1's exponent.
+	flow := []*big.Int{new(big.Int).Set(sg.G)} // member 0 starts from [g]
+	for i := 0; i < n-1; i++ {
+		p := parts[i]
+		newFlow := make([]*big.Int, 0, len(flow)+1)
+		for _, v := range flow {
+			newFlow = append(newFlow, new(big.Int).Exp(v, p.r, sg.P))
+			p.m.Exp(1)
+		}
+		// The slot missing member i's own exponent is the previous
+		// accumulated value (g itself for i = 0).
+		newFlow = append(newFlow, flow[0])
+		flow = newFlow
+		// Forward to the next member.
+		buf := wire.NewBuffer().PutString(p.id).PutUint(uint64(len(flow)))
+		for _, v := range flow {
+			buf.PutBig(v)
+		}
+		if err := net.Send(p.id, parts[i+1].id, MsgGDHUpflow, buf.Bytes()); err != nil {
+			return err
+		}
+		// Receiver ingests (the network copy is authoritative).
+		msgs, err := net.RecvType(parts[i+1].id, MsgGDHUpflow)
+		if err != nil {
+			return err
+		}
+		if len(msgs) != 1 {
+			return fmt.Errorf("baseline: GDH.2 upflow to %s lost", parts[i+1].id)
+		}
+		rd := wire.NewReader(msgs[0].Payload)
+		_ = rd.String()
+		cnt := int(rd.Uint())
+		recv := make([]*big.Int, cnt)
+		for j := 0; j < cnt; j++ {
+			recv[j] = rd.Big()
+		}
+		if err := rd.Close(); err != nil {
+			return err
+		}
+		flow = recv
+	}
+	// Last member: flow[0] = g^{r_0 ··· r_{n-2}} gives its key directly.
+	last := parts[n-1]
+	last.key = new(big.Int).Exp(flow[0], last.r, sg.P)
+	last.m.Exp(1)
+	// Broadcast slots 1..n-1 (slot j misses member j-1), each lifted by
+	// r_{n-1}.
+	buf := wire.NewBuffer().PutString(last.id).PutUint(uint64(n - 1))
+	for j := 1; j < n; j++ {
+		v := new(big.Int).Exp(flow[j], last.r, sg.P)
+		last.m.Exp(1)
+		buf.PutBig(v)
+	}
+	if err := net.Broadcast(last.id, MsgGDHBcast, buf.Bytes()); err != nil {
+		return err
+	}
+	for i := 0; i < n-1; i++ {
+		p := parts[i]
+		msgs, err := net.RecvType(p.id, MsgGDHBcast)
+		if err != nil {
+			return err
+		}
+		if len(msgs) != 1 {
+			return fmt.Errorf("baseline: GDH.2 broadcast missing at %s", p.id)
+		}
+		rd := wire.NewReader(msgs[0].Payload)
+		_ = rd.String()
+		cnt := int(rd.Uint())
+		vals := make([]*big.Int, cnt)
+		for j := 0; j < cnt; j++ {
+			vals[j] = rd.Big()
+		}
+		if err := rd.Close(); err != nil {
+			return err
+		}
+		// Slot i misses member i's exponent.
+		p.key = new(big.Int).Exp(vals[i], p.r, sg.P)
+		p.m.Exp(1)
+	}
+	for _, p := range parts[1:] {
+		if p.key.Cmp(parts[0].key) != 0 {
+			return errors.New("baseline: GDH.2 members disagree")
+		}
+	}
+	return nil
+}
+
+// sym2rand centralises the randomness source for the historical
+// protocols.
+func sym2rand() io.Reader { return rand.Reader }

@@ -1,0 +1,155 @@
+package baseline
+
+import (
+	"fmt"
+	"math/big"
+	"testing"
+
+	"idgka/internal/meter"
+	"idgka/internal/netsim"
+	"idgka/internal/params"
+)
+
+func ringGroup(t testing.TB, n int) (*netsim.Network, []*RingParticipant) {
+	t.Helper()
+	net := netsim.New()
+	var parts []*RingParticipant
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("R%02d", i+1)
+		m := meter.New()
+		p, err := NewRingParticipant(id, params.Default().Public(), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Register(id, m); err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, p)
+	}
+	return net, parts
+}
+
+// directProductKey computes g^{Π r_i} from the drawn exponents.
+func directProductKey(parts []*RingParticipant) *big.Int {
+	sg := params.Default().Schnorr
+	prod := big.NewInt(1)
+	for _, p := range parts {
+		prod.Mul(prod, p.r)
+		prod.Mod(prod, sg.Q)
+	}
+	return new(big.Int).Exp(sg.G, prod, sg.P)
+}
+
+func TestINGAgreementAndKey(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		net, parts := ringGroup(t, n)
+		if err := RunING(net, parts); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := directProductKey(parts)
+		for _, p := range parts {
+			if p.Key().Cmp(want) != 0 {
+				t.Fatalf("n=%d: %s key != g^(Πr)", n, p.ID())
+			}
+		}
+	}
+}
+
+func TestINGComplexity(t *testing.T) {
+	// The historical cost the paper's related work cites: n-1 rounds and
+	// n exponentiations per member (1 initial + n-1 hops), n-1 unicasts.
+	n := 6
+	net, parts := ringGroup(t, n)
+	if err := RunING(net, parts); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range parts {
+		r := p.Meter().Report()
+		if r.Exp != n {
+			t.Errorf("%s: Exp = %d, want %d", p.ID(), r.Exp, n)
+		}
+		if r.MsgTx != n-1 || r.MsgRx != n-1 {
+			t.Errorf("%s: Tx/Rx = %d/%d, want %d/%d", p.ID(), r.MsgTx, r.MsgRx, n-1, n-1)
+		}
+	}
+}
+
+func TestGDH2AgreementAndKey(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		net, parts := ringGroup(t, n)
+		if err := RunGDH2(net, parts); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := directProductKey(parts)
+		for _, p := range parts {
+			if p.Key().Cmp(want) != 0 {
+				t.Fatalf("n=%d: %s key != g^(Πr)", n, p.ID())
+			}
+		}
+	}
+}
+
+func TestGDH2ComplexityAsymmetry(t *testing.T) {
+	// GDH.2's signature trait: member i performs i+1 upflow
+	// exponentiations, the last member n of them — linear and unbalanced,
+	// unlike BD's constant 3.
+	n := 6
+	net, parts := ringGroup(t, n)
+	if err := RunGDH2(net, parts); err != nil {
+		t.Fatal(err)
+	}
+	first := parts[0].Meter().Report().Exp
+	last := parts[n-1].Meter().Report().Exp
+	if first >= last {
+		t.Fatalf("GDH.2 should be unbalanced: first=%d last=%d", first, last)
+	}
+	if last != n {
+		t.Fatalf("last member Exp = %d, want %d", last, n)
+	}
+}
+
+func TestRelatedValidation(t *testing.T) {
+	net, parts := ringGroup(t, 2)
+	if err := RunING(net, parts[:1]); err == nil {
+		t.Fatal("singleton ING accepted")
+	}
+	if err := RunGDH2(net, parts[:1]); err == nil {
+		t.Fatal("singleton GDH.2 accepted")
+	}
+	if _, err := NewRingParticipant("", params.Default().Public(), nil); err == nil {
+		t.Fatal("empty id accepted")
+	}
+}
+
+func TestRelatedKeysFresh(t *testing.T) {
+	net, parts := ringGroup(t, 3)
+	if err := RunING(net, parts); err != nil {
+		t.Fatal(err)
+	}
+	k1 := parts[0].Key()
+	net2, parts2 := ringGroup(t, 3)
+	if err := RunING(net2, parts2); err != nil {
+		t.Fatal(err)
+	}
+	if parts2[0].Key().Cmp(k1) == 0 {
+		t.Fatal("two ING runs produced the same key")
+	}
+}
+
+func BenchmarkING8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		net, parts := ringGroup(b, 8)
+		if err := RunING(net, parts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGDH2_8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		net, parts := ringGroup(b, 8)
+		if err := RunGDH2(net, parts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

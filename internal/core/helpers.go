@@ -1,0 +1,105 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"idgka/internal/netsim"
+	"idgka/internal/wire"
+)
+
+// forEach runs fn concurrently for every member (one goroutine per node,
+// mirroring how the devices compute in the field) and returns the first
+// error observed.
+func forEach(members []*Member, fn func(*Member) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(members))
+	for i, mb := range members {
+		wg.Add(1)
+		go func(i int, mb *Member) {
+			defer wg.Done()
+			errs[i] = fn(mb)
+		}(i, mb)
+	}
+	wg.Wait()
+	// Prefer a retryable error so the orchestrator re-runs rather than
+	// aborts when both kinds occur in one phase.
+	var firstFatal error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if IsRetryable(err) {
+			return err
+		}
+		if firstFatal == nil {
+			firstFatal = err
+		}
+	}
+	return firstFatal
+}
+
+// drainAll empties members' inboxes between retransmission attempts so a
+// stale message cannot poison the next attempt.
+func drainAll(net netsim.Medium, members []*Member) {
+	for _, mb := range members {
+		_, _ = net.Recv(mb.id)
+		mb.pending = pendingRound{}
+	}
+}
+
+// rosterOf extracts the identity ring from a member slice.
+func rosterOf(members []*Member) []string {
+	ids := make([]string, len(members))
+	for i, m := range members {
+		ids[i] = m.id
+	}
+	return ids
+}
+
+// errNoSession is returned by dynamic protocols invoked before RunInitial.
+var errNoSession = errors.New("core: member has no established session")
+
+// encodeStateTables serialises the (id, z, t) view a session holds so it
+// can be shipped to joiners and across merged groups. The paper leaves this
+// state acquisition unspecified (its Leave protocol assumes every member
+// knows every z_i and t_i); the transfer bytes are metered separately as
+// state traffic. Entries with neither z nor t are skipped.
+func encodeStateTables(sess *Session) []byte {
+	buf := wire.NewBuffer()
+	var ids []string
+	for _, id := range sess.Roster {
+		if sess.Z[id] != nil || sess.T[id] != nil {
+			ids = append(ids, id)
+		}
+	}
+	buf.PutUint(uint64(len(ids)))
+	for _, id := range ids {
+		buf.PutString(id)
+		buf.PutBig(sess.Z[id])
+		buf.PutBig(sess.T[id])
+	}
+	return buf.Bytes()
+}
+
+// decodeStateTables parses encodeStateTables output into a session,
+// without overwriting values the session already holds fresher copies of
+// (existing entries win: the receiver may have observed later broadcasts).
+func decodeStateTables(r *wire.Reader, sess *Session) error {
+	count := r.Uint()
+	for i := uint64(0); i < count; i++ {
+		id := r.String()
+		z := r.Big()
+		t := r.Big()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if _, have := sess.Z[id]; !have && z != nil && z.Sign() > 0 {
+			sess.Z[id] = z
+		}
+		if _, have := sess.T[id]; !have && t != nil && t.Sign() > 0 {
+			sess.T[id] = t
+		}
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package ec
+
+import (
+	"math/big"
+	"sync"
+)
+
+var (
+	curveOnce sync.Once
+	secp160r1 *Curve
+	p256      *Curve
+)
+
+func mustHexInt(s string) *big.Int {
+	v, ok := new(big.Int).SetString(s, 16)
+	if !ok {
+		panic("ec: corrupt curve constant")
+	}
+	return v
+}
+
+func initCurves() {
+	// SEC 2 secp160r1 — the 160-bit curve matching the paper's "BD with
+	// 160-bit ECDSA" baseline.
+	secp160r1 = &Curve{
+		Name: "secp160r1",
+		P:    mustHexInt("ffffffffffffffffffffffffffffffff7fffffff"),
+		A:    mustHexInt("ffffffffffffffffffffffffffffffff7ffffffc"),
+		B:    mustHexInt("1c97befc54bd7a8b65acf89f81d4d4adc565fa45"),
+		Gx:   mustHexInt("4a96b5688ef573284664698968c38bb913cbfc82"),
+		Gy:   mustHexInt("23a628553168947d59dcc912042351377ac5fb32"),
+		N:    mustHexInt("0100000000000000000001f4c8f927aed3ca752257"),
+	}
+	// NIST P-256 / secp256r1 for modern-size comparisons.
+	p256 = &Curve{
+		Name: "P-256",
+		P:    mustHexInt("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff"),
+		A:    mustHexInt("ffffffff00000001000000000000000000000000fffffffffffffffffffffffc"),
+		B:    mustHexInt("5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b"),
+		Gx:   mustHexInt("6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296"),
+		Gy:   mustHexInt("4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5"),
+		N:    mustHexInt("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551"),
+	}
+}
+
+// Secp160r1 returns the shared 160-bit curve instance.
+func Secp160r1() *Curve {
+	curveOnce.Do(initCurves)
+	return secp160r1
+}
+
+// P256 returns the shared P-256 curve instance.
+func P256() *Curve {
+	curveOnce.Do(initCurves)
+	return p256
+}

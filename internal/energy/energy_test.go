@@ -1,0 +1,143 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"idgka/internal/meter"
+)
+
+// approx asserts relative closeness.
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if want == 0 {
+		if got != 0 {
+			t.Errorf("%s = %v, want 0", what, got)
+		}
+		return
+	}
+	if math.Abs(got-want)/math.Abs(want) > tol {
+		t.Errorf("%s = %.4g, want %.4g (±%.0f%%)", what, got, want, tol*100)
+	}
+}
+
+// TestExtrapolationReproducesTable2 checks the equation-(4) pipeline
+// against the paper's published StrongARM values.
+func TestExtrapolationReproducesTable2(t *testing.T) {
+	cases := []struct {
+		name   string
+		p3Ms   float64
+		wantMs float64
+		wantMJ float64
+	}{
+		{"ModExp", 8.8, 37.92, 9.1},
+		{"MapToPoint", 17.78, 76.67, 18.4},
+		{"TatePairing", 44.4, 191.5, 47.0},
+		{"ScalarMul", 8.5, 36.67, 8.8},
+		{"DSA sign", 8.8, 37.92, 9.1},
+		{"ECDSA sign", 8.5, 36.67, 8.8},
+		{"SOK sign", 17.0, 73.33, 17.6},
+		{"GQ sign", 17.6, 75.83, 18.2},
+		{"DSA verify", 10.75, 46.33, 11.1},
+		{"ECDSA verify", 10.5, 45.42, 10.9},
+		{"SOK verify", 133.2, 573.75, 137.7},
+		{"GQ verify", 17.6, 75.83, 18.2},
+	}
+	for _, c := range cases {
+		ms, mj := Extrapolate(c.p3Ms)
+		approx(t, ms, c.wantMs, 0.03, c.name+" ms")
+		approx(t, mj, c.wantMJ, 0.03, c.name+" mJ")
+	}
+}
+
+// TestRadioCostsReproduceTable3 checks the derived per-message costs the
+// paper lists in Table 3.
+func TestRadioCostsReproduceTable3(t *testing.T) {
+	r100 := Radio100kbps()
+	wlan := WLANCard()
+	cases := []struct {
+		name  string
+		bytes int
+		radio RadioProfile
+		tx    bool
+		want  float64 // mJ
+	}{
+		{"Tx 263B DSA cert @100kbps", 263, r100, true, 22.72},
+		{"Rx 263B DSA cert @100kbps", 263, r100, false, 15.8},
+		{"Tx 86B ECDSA cert @100kbps", 86, r100, true, 7.43},
+		{"Rx 86B ECDSA cert @100kbps", 86, r100, false, 5.17},
+		{"Tx 263B DSA cert @WLAN", 263, wlan, true, 1.38},
+		{"Rx 263B DSA cert @WLAN", 263, wlan, false, 0.64},
+		{"Tx DSA/ECDSA sig @100kbps", 40, r100, true, 3.46},
+		{"Rx DSA/ECDSA sig @100kbps", 40, r100, false, 2.40},
+		{"Tx GQ sig @100kbps", 148, r100, true, 12.79},
+		{"Rx GQ sig @100kbps", 148, r100, false, 8.89},
+	}
+	for _, c := range cases {
+		bits := float64(c.bytes) * 8
+		var got float64
+		if c.tx {
+			got = bits * c.radio.TxMJBit
+		} else {
+			got = bits * c.radio.RxMJBit
+		}
+		approx(t, got, c.want, 0.035, c.name)
+	}
+}
+
+func TestComputePricing(t *testing.T) {
+	m := DefaultModel()
+	r := meter.NewReport()
+	r.Exp = 3
+	r.SignGen[meter.SchemeGQ] = 1
+	r.SignVer[meter.SchemeGQ] = 1
+	// 3 × 9.1 + 18.2 + 18.2 = 63.7 mJ.
+	approx(t, m.ComputeMJ(r), 63.7, 0.03, "proposed per-user compute")
+}
+
+func TestCertVerPricedBySelectedScheme(t *testing.T) {
+	r := meter.NewReport()
+	r.CertVer = 10
+	mE := DefaultModel()
+	mD := DefaultModel()
+	mD.CertVerifyAs = meter.SchemeDSA
+	if mE.ComputeMJ(r) >= mD.ComputeMJ(r) {
+		t.Fatal("DSA cert verification should cost more than ECDSA")
+	}
+	approx(t, mE.ComputeMJ(r), 10*10.9, 0.03, "ECDSA cert ver")
+}
+
+func TestCommPricingAndStateBytes(t *testing.T) {
+	m := DefaultModel()
+	r := meter.NewReport()
+	r.BytesTx = 1000
+	r.BytesRx = 2000
+	r.StateTx = 50000
+	want := 1000*8*0.00066 + 2000*8*0.00031
+	approx(t, m.CommMJ(r), want, 1e-9, "comm without state")
+	m.IncludeStateBytes = true
+	want += 50000 * 8 * 0.00066
+	approx(t, m.CommMJ(r), want, 1e-9, "comm with state")
+}
+
+func TestEnergyJCombines(t *testing.T) {
+	m := DefaultModel()
+	r := meter.NewReport()
+	r.Exp = 1
+	r.BytesTx = 125 // 1000 bits
+	wantJ := (9.1 + 1000*0.00066) / 1000
+	approx(t, m.EnergyJ(r), wantJ, 0.03, "combined energy")
+}
+
+func TestSOKVerifyDominates(t *testing.T) {
+	// The structural fact behind Figure 1: one SOK verification costs more
+	// than an entire proposed-protocol participant.
+	cpu := StrongARM()
+	if cpu.SignVerMJ[meter.SchemeSOK] < 100 {
+		t.Fatal("SOK verification should be >100 mJ")
+	}
+	proposedTotal := 3*cpu.ModExpMJ + cpu.SignGenMJ[meter.SchemeGQ] + cpu.SignVerMJ[meter.SchemeGQ]
+	if cpu.SignVerMJ[meter.SchemeSOK] < proposedTotal {
+		t.Fatal("one SOK verify should exceed the proposed scheme's full compute")
+	}
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationBatchVerify(t *testing.T) {
+	out := AblationBatchVerify([]int{10, 100})
+	if !strings.Contains(out, "batch") || !strings.Contains(out, "×") {
+		t.Fatalf("malformed ablation output:\n%s", out)
+	}
+	// The saving must grow with n (individual verification is Θ(n)).
+	// Parse coarsely: the 100-row saving factor should exceed the 10-row.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("unexpected ablation shape:\n%s", out)
+	}
+}
+
+func TestAblationStrictNonces(t *testing.T) {
+	e := testEnvE(t)
+	out, err := e.AblationStrictNonces(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "strict refresh") || !strings.Contains(out, "τ reuse") {
+		t.Fatalf("malformed output:\n%s", out)
+	}
+}

@@ -1,0 +1,307 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"idgka/internal/analytic"
+	"idgka/internal/baseline"
+	"idgka/internal/core"
+	"idgka/internal/energy"
+	"idgka/internal/meter"
+	"idgka/internal/netsim"
+)
+
+// DynamicResult carries the measured outcome of one dynamic-protocol run.
+type DynamicResult struct {
+	Protocol string // "proposed" or "bd"
+	Event    string // join / leave / merge / partition
+	Rounds   int
+	Messages int
+	// Roles maps role name -> representative per-member report.
+	Roles map[string]meter.Report
+}
+
+// resetMeters clears all per-member meters and medium totals.
+func resetProposed(net *netsim.Network, members []*core.Member) {
+	for _, mb := range members {
+		mb.Meter().Reset()
+	}
+	net.ResetTotals()
+}
+
+// MeasureProposedJoin runs the proposed Join at current size n.
+func (e *Env) MeasureProposedJoin(n int) (*DynamicResult, error) {
+	net, members, err := e.ProposedGroup(n)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.RunInitial(net, members); err != nil {
+		return nil, err
+	}
+	resetProposed(net, members)
+	joiner, jm, err := e.NewProposedMember("J001")
+	if err != nil {
+		return nil, err
+	}
+	if err := net.Register("J001", jm); err != nil {
+		return nil, err
+	}
+	if err := core.RunJoin(net, members, joiner); err != nil {
+		return nil, err
+	}
+	msgs, _ := net.Totals()
+	return &DynamicResult{
+		Protocol: "proposed", Event: "join", Rounds: 3, Messages: msgs,
+		Roles: map[string]meter.Report{
+			"U1":     members[0].Meter().Report(),
+			"Un":     members[n-1].Meter().Report(),
+			"joiner": joiner.Meter().Report(),
+			"others": members[1].Meter().Report(),
+		},
+	}, nil
+}
+
+// MeasureProposedLeave runs the proposed Leave (ld=1) or Partition (ld>1)
+// at current size n.
+func (e *Env) MeasureProposedLeave(n, ld int) (*DynamicResult, error) {
+	return e.measureLeaveCfg(n, ld, false)
+}
+
+// measureLeaveCfg is MeasureProposedLeave with the StrictNonceRefresh
+// option (used by the ablation study).
+func (e *Env) measureLeaveCfg(n, ld int, strict bool) (*DynamicResult, error) {
+	net, members, err := e.ProposedGroupCfg(n, strict)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.RunInitial(net, members); err != nil {
+		return nil, err
+	}
+	resetProposed(net, members)
+	// Leavers: a block in the middle, as a partition would cut.
+	var leavers []string
+	for i := 0; i < ld; i++ {
+		leavers = append(leavers, members[n/2+i].ID())
+	}
+	if err := core.RunPartition(net, members, leavers); err != nil {
+		return nil, err
+	}
+	msgs, _ := net.Totals()
+	event := "leave"
+	if ld > 1 {
+		event = "partition"
+	}
+	// Representative odd (1-based position 1) and even (position 2)
+	// survivors.
+	return &DynamicResult{
+		Protocol: "proposed", Event: event, Rounds: 2, Messages: msgs,
+		Roles: map[string]meter.Report{
+			"odd":  members[0].Meter().Report(),
+			"even": members[1].Meter().Report(),
+		},
+	}, nil
+}
+
+// MeasureProposedMerge runs the proposed Merge of groups sized n and m.
+func (e *Env) MeasureProposedMerge(n, m int) (*DynamicResult, error) {
+	net, groupA, err := e.ProposedGroup(n)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.RunInitial(net, groupA); err != nil {
+		return nil, err
+	}
+	netB := netsim.New()
+	var groupB []*core.Member
+	for i := 0; i < m; i++ {
+		id := fmt.Sprintf("V%03d", i+1)
+		mb, mm, err := e.NewProposedMember(id)
+		if err != nil {
+			return nil, err
+		}
+		if err := netB.Register(id, mm); err != nil {
+			return nil, err
+		}
+		groupB = append(groupB, mb)
+	}
+	if err := core.RunInitial(netB, groupB); err != nil {
+		return nil, err
+	}
+	// Move B onto the common medium, reset, merge.
+	for _, mb := range groupB {
+		if err := net.Register(mb.ID(), mb.Meter()); err != nil {
+			return nil, err
+		}
+	}
+	resetProposed(net, append(append([]*core.Member{}, groupA...), groupB...))
+	if err := core.RunMerge(net, groupA, groupB); err != nil {
+		return nil, err
+	}
+	msgs, _ := net.Totals()
+	return &DynamicResult{
+		Protocol: "proposed", Event: "merge", Rounds: 3, Messages: msgs,
+		Roles: map[string]meter.Report{
+			"U1":     groupA[0].Meter().Report(),
+			"Un1":    groupB[0].Meter().Report(),
+			"others": groupA[1].Meter().Report(),
+		},
+	}, nil
+}
+
+// MeasureBDRekey measures the paper's baseline strategy: a full BD+ECDSA
+// re-run at the post-event group size. All members bear identical costs in
+// a re-run, so one representative report is returned under role "members"
+// (and "joiner" aliases it for the join event).
+func (e *Env) MeasureBDRekey(event string, newSize int) (*DynamicResult, error) {
+	net, parts, err := e.BaselineGroup("ecdsa", newSize)
+	if err != nil {
+		return nil, err
+	}
+	if err := baseline.RunBD(net, parts); err != nil {
+		return nil, err
+	}
+	msgs, _ := net.Totals()
+	rep := parts[1].Meter().Report()
+	roles := map[string]meter.Report{"members": rep}
+	if event == "join" {
+		roles["joiner"] = rep
+	}
+	return &DynamicResult{
+		Protocol: "bd", Event: event, Rounds: 2, Messages: msgs, Roles: roles,
+	}, nil
+}
+
+// Table4 regenerates the dynamic-protocol complexity comparison at the
+// given parameters (paper: n=100, m=20, ld=20, k=2).
+func (e *Env) Table4(n, m, ld int) (string, error) {
+	type row struct {
+		res *DynamicResult
+	}
+	var rows [][]string
+	add := func(r *DynamicResult, err error) error {
+		if err != nil {
+			return err
+		}
+		// Aggregate sign ops across roles is role-dependent; report the
+		// representative member ("others"/"members"/"odd" in that order).
+		rep, ok := r.Roles["others"]
+		if !ok {
+			if rep, ok = r.Roles["members"]; !ok {
+				rep = r.Roles["odd"]
+			}
+		}
+		rows = append(rows, []string{
+			r.Protocol, r.Event,
+			fmt.Sprintf("%d", r.Rounds),
+			fmt.Sprintf("%d", r.Messages),
+			fmt.Sprintf("%d", rep.Exp),
+			fmt.Sprintf("%d", rep.TotalSignGen()),
+			fmt.Sprintf("%d", rep.TotalSignVer()),
+		})
+		return nil
+	}
+	if err := add(e.MeasureBDRekey("join", n+1)); err != nil {
+		return "", err
+	}
+	if err := add(e.MeasureBDRekey("leave", n-1)); err != nil {
+		return "", err
+	}
+	if err := add(e.MeasureBDRekey("merge", n+m)); err != nil {
+		return "", err
+	}
+	if err := add(e.MeasureBDRekey("partition", n-ld)); err != nil {
+		return "", err
+	}
+	if err := add(e.MeasureProposedJoin(n)); err != nil {
+		return "", err
+	}
+	if err := add(e.MeasureProposedLeave(n, 1)); err != nil {
+		return "", err
+	}
+	if err := add(e.MeasureProposedMerge(n, m)); err != nil {
+		return "", err
+	}
+	if err := add(e.MeasureProposedLeave(n, ld)); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4 — dynamic protocol complexity, n=%d m=%d ld=%d (measured; representative member)\n", n, m, ld)
+	b.WriteString(Table([]string{"Protocol", "Event", "Rd", "Msgs (total)", "Exp", "SignGen", "SignVer"}, rows))
+	b.WriteString("\nPaper totals for comparison:\n")
+	v := 0
+	for i := 1; i <= n; i += 2 {
+		v++ // odd 1-based survivors among n members (approximation: leaver parity ignored)
+	}
+	var prows [][]string
+	for _, pr := range analytic.PaperTable4(n, m, ld, v, 2) {
+		prows = append(prows, []string{pr.Protocol, pr.Event, fmt.Sprintf("%d", pr.Rounds), pr.Messages, fmt.Sprintf("%d", pr.MsgCount), pr.Notes})
+	}
+	b.WriteString(Table([]string{"Protocol", "Event", "Rd", "Msgs", "@params", "Notes"}, prows))
+	return b.String(), nil
+}
+
+// Table5 regenerates the dynamic-protocol energy comparison: per-role
+// energies under StrongARM + WLAN at the given parameters.
+func (e *Env) Table5(p analytic.Table5Params) (string, error) {
+	model := energy.DefaultModel()
+	var rows [][]string
+	add := func(r *DynamicResult, err error) error {
+		if err != nil {
+			return err
+		}
+		for _, role := range sortedRoles(r.Roles) {
+			rep := r.Roles[role]
+			key := fmt.Sprintf("%s/%s/%s", r.Protocol, r.Event, role)
+			paper := ""
+			if v, ok := analytic.PaperTable5J[key]; ok {
+				paper = fmt.Sprintf("%.4g J", v)
+			}
+			rows = append(rows, []string{
+				r.Protocol, r.Event, role,
+				fmt.Sprintf("%.4g J", model.EnergyJ(rep)),
+				paper,
+			})
+		}
+		return nil
+	}
+	if err := add(e.MeasureBDRekey("join", p.N+1)); err != nil {
+		return "", err
+	}
+	if err := add(e.MeasureProposedJoin(p.N)); err != nil {
+		return "", err
+	}
+	if err := add(e.MeasureBDRekey("leave", p.N-1)); err != nil {
+		return "", err
+	}
+	if err := add(e.MeasureProposedLeave(p.N, 1)); err != nil {
+		return "", err
+	}
+	if err := add(e.MeasureBDRekey("merge", p.N+p.M)); err != nil {
+		return "", err
+	}
+	if err := add(e.MeasureProposedMerge(p.N, p.M)); err != nil {
+		return "", err
+	}
+	if err := add(e.MeasureBDRekey("partition", p.N-p.Ld)); err != nil {
+		return "", err
+	}
+	if err := add(e.MeasureProposedLeave(p.N, p.Ld)); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 5 — dynamic protocol energy, StrongARM + WLAN, n=%d m=%d ld=%d (measured)\n", p.N, p.M, p.Ld)
+	b.WriteString(Table([]string{"Protocol", "Event", "Role", "Measured", "Paper"}, rows))
+	return b.String(), nil
+}
+
+func sortedRoles(m map[string]meter.Report) []string {
+	order := []string{"U1", "Un", "Un1", "joiner", "members", "odd", "even", "others"}
+	var out []string
+	for _, r := range order {
+		if _, ok := m[r]; ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"idgka/internal/analytic"
+	"idgka/internal/energy"
+	"idgka/internal/meter"
+)
+
+var (
+	envOnce sync.Once
+	env     *Env
+)
+
+func testEnvE(t testing.TB) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		e, err := NewEnv()
+		if err != nil {
+			panic(err)
+		}
+		env = e
+	})
+	return env
+}
+
+// TestMeasuredMatchesAnalytic is the validation that licenses Figure 1's
+// large-n extrapolation: for every protocol, the per-user operation counts
+// of a real instrumented execution must equal the analytic formulas.
+func TestMeasuredMatchesAnalytic(t *testing.T) {
+	e := testEnvE(t)
+	for _, p := range analytic.AllProtocols() {
+		n := 5
+		if p == analytic.ProtoBDSOK {
+			n = 3 // pairing-heavy; small group is enough to validate counts
+		}
+		measured, _, err := e.MeasureStatic(p, n)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		want := analytic.StaticReport(p, n)
+		if measured.Exp != want.Exp {
+			t.Errorf("%s: Exp measured %d, formula %d", p, measured.Exp, want.Exp)
+		}
+		if measured.MsgTx != want.MsgTx || measured.MsgRx != want.MsgRx {
+			t.Errorf("%s: traffic measured %d/%d, formula %d/%d", p, measured.MsgTx, measured.MsgRx, want.MsgTx, want.MsgRx)
+		}
+		if measured.CertTx != want.CertTx || measured.CertRx != want.CertRx || measured.CertVer != want.CertVer {
+			t.Errorf("%s: certs measured %d/%d/%d, formula %d/%d/%d", p,
+				measured.CertTx, measured.CertRx, measured.CertVer, want.CertTx, want.CertRx, want.CertVer)
+		}
+		if measured.MapToPoint != want.MapToPoint {
+			t.Errorf("%s: MapToPoint measured %d, formula %d", p, measured.MapToPoint, want.MapToPoint)
+		}
+		if measured.TotalSignGen() != want.TotalSignGen() || measured.TotalSignVer() != want.TotalSignVer() {
+			t.Errorf("%s: sign ops measured %d/%d, formula %d/%d", p,
+				measured.TotalSignGen(), measured.TotalSignVer(), want.TotalSignGen(), want.TotalSignVer())
+		}
+		// Byte counts: nominal sizes should be within 15% of the real
+		// encodings (framing and identity lengths differ slightly).
+		ratio := float64(measured.BytesTx) / float64(want.BytesTx)
+		if ratio < 0.85 || ratio > 1.15 {
+			t.Errorf("%s: BytesTx measured %d vs nominal %d (ratio %.2f)", p, measured.BytesTx, want.BytesTx, ratio)
+		}
+	}
+}
+
+// TestProposedWinsFigure1 asserts the paper's headline: the proposed
+// scheme has the lowest per-node energy for every group size and both
+// radios.
+func TestProposedWinsFigure1(t *testing.T) {
+	for _, radio := range []energy.RadioProfile{energy.Radio100kbps(), energy.WLANCard()} {
+		for _, n := range analytic.FigureNs {
+			if w := Figure1Winner(n, radio); w != analytic.ProtoProposed {
+				t.Errorf("n=%d radio=%s: winner %s, want proposed", n, radio.Name, w)
+			}
+		}
+	}
+}
+
+// TestFigure1Ordering checks the qualitative curve ordering the figure
+// shows at large n: SOK is the most expensive and SSN beats the
+// cert-based baselines only... actually in the paper SSN sits between.
+// We assert the two robust facts: proposed < everything, SOK > everything.
+func TestFigure1Ordering(t *testing.T) {
+	cpu := energy.StrongARM()
+	for _, n := range []int{50, 100, 500} {
+		radio := energy.WLANCard()
+		js := map[analytic.Protocol]float64{}
+		for _, p := range analytic.AllProtocols() {
+			model := energy.Model{CPU: cpu, Radio: radio, CertVerifyAs: certSchemeFor(p)}
+			js[p] = model.EnergyJ(analytic.StaticReport(p, n))
+		}
+		for p, j := range js {
+			if p != analytic.ProtoProposed && j <= js[analytic.ProtoProposed] {
+				t.Errorf("n=%d: %s (%.4g J) <= proposed (%.4g J)", n, p, j, js[analytic.ProtoProposed])
+			}
+			if p != analytic.ProtoBDSOK && j >= js[analytic.ProtoBDSOK] {
+				t.Errorf("n=%d: %s (%.4g J) >= bd-sok (%.4g J)", n, p, j, js[analytic.ProtoBDSOK])
+			}
+		}
+	}
+}
+
+// TestDynamicEnergyShape asserts Table 5's qualitative result at reduced
+// parameters: every role of the proposed dynamic protocols consumes far
+// less than the BD re-run baseline.
+func TestDynamicEnergyShape(t *testing.T) {
+	e := testEnvE(t)
+	model := energy.DefaultModel()
+	n, m, ld := 12, 4, 3
+
+	bdJoin, err := e.MeasureBDRekey("join", n+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ourJoin, err := e.MeasureProposedJoin(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdJ := model.EnergyJ(bdJoin.Roles["members"])
+	for role, rep := range ourJoin.Roles {
+		if j := model.EnergyJ(rep); j >= bdJ {
+			t.Errorf("join role %s: %.4g J >= BD %.4g J", role, j, bdJ)
+		}
+	}
+
+	bdLeave, err := e.MeasureBDRekey("leave", n-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ourLeave, err := e.MeasureProposedLeave(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdL := model.EnergyJ(bdLeave.Roles["members"])
+	for role, rep := range ourLeave.Roles {
+		if j := model.EnergyJ(rep); j >= bdL {
+			t.Errorf("leave role %s: %.4g J >= BD %.4g J", role, j, bdL)
+		}
+	}
+
+	bdMerge, err := e.MeasureBDRekey("merge", n+m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ourMerge, err := e.MeasureProposedMerge(n, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdM := model.EnergyJ(bdMerge.Roles["members"])
+	for role, rep := range ourMerge.Roles {
+		if j := model.EnergyJ(rep); j >= bdM {
+			t.Errorf("merge role %s: %.4g J >= BD %.4g J", role, j, bdM)
+		}
+	}
+
+	bdPart, err := e.MeasureBDRekey("partition", n-ld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ourPart, err := e.MeasureProposedLeave(n, ld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdP := model.EnergyJ(bdPart.Roles["members"])
+	for role, rep := range ourPart.Roles {
+		if j := model.EnergyJ(rep); j >= bdP {
+			t.Errorf("partition role %s: %.4g J >= BD %.4g J", role, j, bdP)
+		}
+	}
+}
+
+func TestTableRenderers(t *testing.T) {
+	e := testEnvE(t)
+	t1, err := e.Table1(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t1, "Sign Ver") || !strings.Contains(t1, "Proposed") {
+		t.Error("Table1 output malformed")
+	}
+	if t2 := Table2(); !strings.Contains(t2, "Tate Pairing") {
+		t.Error("Table2 output malformed")
+	}
+	if t3 := Table3(); !strings.Contains(t3, "ECDSA certificate") {
+		t.Error("Table3 output malformed")
+	}
+	f1, err := e.Figure1(0) // analytic only: fast
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f1, "WLAN") || !strings.Contains(f1, "500") {
+		t.Error("Figure1 output malformed")
+	}
+	t4, err := e.Table4(8, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t4, "partition") {
+		t.Error("Table4 output malformed")
+	}
+	t5, err := e.Table5(analytic.Table5Params{N: 8, M: 3, Ld: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t5, "joiner") {
+		t.Error("Table5 output malformed")
+	}
+}
+
+// TestJoinRolesOrdering sanity-checks the paper's Table 5 role ordering
+// for the proposed Join: the three active roles dwarf the passive members.
+func TestJoinRolesOrdering(t *testing.T) {
+	e := testEnvE(t)
+	model := energy.DefaultModel()
+	res, err := e.MeasureProposedJoin(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	others := model.EnergyJ(res.Roles["others"])
+	for _, active := range []string{"U1", "Un", "joiner"} {
+		if model.EnergyJ(res.Roles[active]) <= others {
+			t.Errorf("role %s should cost more than passive members", active)
+		}
+	}
+}
+
+var _ = meter.NewReport

@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRelatedWork(t *testing.T) {
+	e := testEnvE(t)
+	out, err := e.RelatedWork(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ING") || !strings.Contains(out, "GDH.2") || !strings.Contains(out, "Proposed") {
+		t.Fatalf("malformed related-work output:\n%s", out)
+	}
+}

@@ -1,0 +1,95 @@
+package hashx
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumDomainSeparation(t *testing.T) {
+	a := Sum(TagChallenge, []byte("msg"))
+	b := Sum(TagIdentity, []byte("msg"))
+	if bytes.Equal(a, b) {
+		t.Fatal("different tags must produce different digests")
+	}
+}
+
+func TestSumLengthPrefixingPreventsAmbiguity(t *testing.T) {
+	// ("ab", "c") and ("a", "bc") must hash differently.
+	x := Sum(TagChallenge, []byte("ab"), []byte("c"))
+	y := Sum(TagChallenge, []byte("a"), []byte("bc"))
+	if bytes.Equal(x, y) {
+		t.Fatal("chunk boundaries are ambiguous")
+	}
+}
+
+func TestChallengeRange(t *testing.T) {
+	bound := new(big.Int).Lsh(big.NewInt(1), ChallengeBits)
+	for i := 0; i < 50; i++ {
+		c := Challenge(TagChallenge, []byte{byte(i)})
+		if c.Sign() < 0 || c.Cmp(bound) >= 0 {
+			t.Fatalf("challenge %v outside [0, 2^%d)", c, ChallengeBits)
+		}
+	}
+}
+
+func TestChallengeDeterministic(t *testing.T) {
+	a := Challenge(TagChallenge, []byte("x"), []byte("y"))
+	b := Challenge(TagChallenge, []byte("x"), []byte("y"))
+	if a.Cmp(b) != 0 {
+		t.Fatal("challenge is not deterministic")
+	}
+}
+
+func TestIdentityDigestRangeAndStability(t *testing.T) {
+	n := new(big.Int).Lsh(big.NewInt(1), 512)
+	n.Add(n, big.NewInt(12345))
+	d1 := IdentityDigest("alice@example.org", n)
+	d2 := IdentityDigest("alice@example.org", n)
+	if d1.Cmp(d2) != 0 {
+		t.Fatal("identity digest unstable")
+	}
+	if d1.Sign() <= 0 || d1.Cmp(n) >= 0 {
+		t.Fatal("identity digest out of range")
+	}
+	if IdentityDigest("bob", n).Cmp(d1) == 0 {
+		t.Fatal("distinct identities collided")
+	}
+}
+
+func TestScalarDigestRange(t *testing.T) {
+	q := big.NewInt(7919)
+	f := func(msg []byte) bool {
+		v := ScalarDigest(TagDSADigest, q, msg)
+		return v.Sign() >= 0 && v.Cmp(q) < 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKDFLengthsAndIndependence(t *testing.T) {
+	secret := []byte("group key material")
+	k16 := KDF(secret, "enc", 16)
+	k32 := KDF(secret, "enc", 32)
+	if len(k16) != 16 || len(k32) != 32 {
+		t.Fatal("KDF returned wrong lengths")
+	}
+	if !bytes.Equal(k16, k32[:16]) {
+		t.Fatal("KDF counter mode should be a prefix-consistent stream")
+	}
+	other := KDF(secret, "mac", 16)
+	if bytes.Equal(k16, other) {
+		t.Fatal("different contexts must derive different keys")
+	}
+}
+
+func TestBigBytesNil(t *testing.T) {
+	if BigBytes(nil) != nil && len(BigBytes(nil)) != 0 {
+		t.Fatal("nil should map to empty")
+	}
+	if !bytes.Equal(BigBytes(big.NewInt(0x0102)), []byte{1, 2}) {
+		t.Fatal("BigBytes wrong encoding")
+	}
+}

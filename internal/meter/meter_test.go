@@ -1,0 +1,117 @@
+package meter
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilMeterIsNoOp(t *testing.T) {
+	var m *Meter
+	m.Exp(3)
+	m.SignGen(SchemeGQ, 1)
+	m.Tx(100)
+	r := m.Report()
+	if r.Exp != 0 || r.MsgTx != 0 {
+		t.Fatal("nil meter accumulated counts")
+	}
+}
+
+func TestMeterAccumulates(t *testing.T) {
+	m := New()
+	m.Exp(3)
+	m.Exp(2)
+	m.SignGen(SchemeGQ, 1)
+	m.SignVer(SchemeGQ, 1)
+	m.SignVer(SchemeECDSA, 4)
+	m.Cert(1, 9, 9)
+	m.MapToPoint(2)
+	m.Pairing(3)
+	m.Sym(2, 5)
+	m.Tx(128)
+	m.Tx(32)
+	m.Rx(64)
+	r := m.Report()
+	if r.Exp != 5 {
+		t.Fatalf("Exp = %d, want 5", r.Exp)
+	}
+	if r.SignGen[SchemeGQ] != 1 || r.SignVer[SchemeGQ] != 1 || r.SignVer[SchemeECDSA] != 4 {
+		t.Fatalf("signature counters wrong: %+v", r)
+	}
+	if r.CertTx != 1 || r.CertRx != 9 || r.CertVer != 9 {
+		t.Fatalf("cert counters wrong: %+v", r)
+	}
+	if r.MsgTx != 2 || r.BytesTx != 160 || r.MsgRx != 1 || r.BytesRx != 64 {
+		t.Fatalf("traffic counters wrong: %+v", r)
+	}
+	if r.SymEnc != 2 || r.SymDec != 5 || r.MapToPoint != 2 || r.Pairing != 3 {
+		t.Fatalf("misc counters wrong: %+v", r)
+	}
+}
+
+func TestZeroValueMeterUsable(t *testing.T) {
+	var m Meter
+	m.SignGen(SchemeDSA, 2)
+	if got := m.Report().SignGen[SchemeDSA]; got != 2 {
+		t.Fatalf("zero-value meter SignGen = %d, want 2", got)
+	}
+}
+
+func TestReportAdd(t *testing.T) {
+	a := NewReport()
+	a.Exp = 3
+	a.SignGen = map[Scheme]int{SchemeGQ: 1}
+	b := NewReport()
+	b.Exp = 4
+	b.SignGen = map[Scheme]int{SchemeGQ: 2, SchemeSOK: 1}
+	sum := a.Add(b)
+	if sum.Exp != 7 || sum.SignGen[SchemeGQ] != 3 || sum.SignGen[SchemeSOK] != 1 {
+		t.Fatalf("Add wrong: %+v", sum)
+	}
+	// Inputs untouched.
+	if a.Exp != 3 || b.SignGen[SchemeGQ] != 2 {
+		t.Fatal("Add mutated inputs")
+	}
+}
+
+func TestTotals(t *testing.T) {
+	r := NewReport()
+	r.SignGen[SchemeGQ] = 2
+	r.SignGen[SchemeDSA] = 3
+	r.SignVer[SchemeSOK] = 4
+	if r.TotalSignGen() != 5 || r.TotalSignVer() != 4 {
+		t.Fatalf("totals wrong: %d %d", r.TotalSignGen(), r.TotalSignVer())
+	}
+}
+
+func TestMeterConcurrentSafety(t *testing.T) {
+	m := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Exp(1)
+				m.Tx(10)
+			}
+		}()
+	}
+	wg.Wait()
+	r := m.Report()
+	if r.Exp != 16000 || r.MsgTx != 16000 || r.BytesTx != 160000 {
+		t.Fatalf("lost updates: %+v", r)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := New()
+	m.Exp(5)
+	m.Reset()
+	if m.Report().Exp != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	m.Exp(1)
+	if m.Report().Exp != 1 {
+		t.Fatal("meter unusable after Reset")
+	}
+}

@@ -1,0 +1,275 @@
+// Package netsim simulates the broadcast wireless medium the protocols run
+// over: per-node mailboxes, broadcast and unicast delivery, per-node
+// message/byte accounting through internal/meter, and deterministic fault
+// injection (message corruption and drops) used to exercise the paper's
+// "all members retransmit" failure path.
+//
+// The simulator is synchronous-by-construction: protocol orchestrators
+// perform explicit communication phases, and delivery is immediate into
+// receiver inboxes. Per-member computation within a phase is run
+// concurrently by the orchestrators (goroutine per member); the network
+// object is safe for that concurrency.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"idgka/internal/meter"
+)
+
+// Message is one protocol message on the medium.
+type Message struct {
+	From    string
+	To      string // empty for broadcast
+	Type    string // protocol-defined label, e.g. "gka/round1"
+	Payload []byte
+}
+
+// Medium is the communication abstraction the protocol orchestrators run
+// over. *Network implements it in-memory; internal/transport implements it
+// over real TCP sockets with identical delivery semantics (a send returns
+// only after the message is in every recipient's inbox).
+type Medium interface {
+	Broadcast(from, typ string, payload []byte) error
+	BroadcastState(from, typ string, payload []byte, stateLen int) error
+	Send(from, to, typ string, payload []byte) error
+	SendState(from, to, typ string, payload []byte, stateLen int) error
+	Recv(id string) ([]Message, error)
+	RecvType(id, typ string) ([]Message, error)
+}
+
+var _ Medium = (*Network)(nil)
+
+// FaultPlan configures deterministic fault injection. Zero value = no
+// faults.
+type FaultPlan struct {
+	// CorruptFirst corrupts the payload of the first message whose Type
+	// matches, then disarms. Corruption flips bits in the middle of the
+	// payload so length-based parsing still succeeds.
+	CorruptFirst string
+	// DropFirst drops the first message whose Type matches, then disarms.
+	DropFirst string
+	// CorruptFrom restricts CorruptFirst to messages from this sender
+	// (empty = any sender).
+	CorruptFrom string
+}
+
+// Network is the shared medium.
+type Network struct {
+	mu     sync.Mutex
+	nodes  map[string]*node
+	order  []string // registration order, for deterministic iteration
+	faults FaultPlan
+	// Stats.
+	totalMsgs  int
+	totalBytes int64
+}
+
+type node struct {
+	id    string
+	inbox []Message
+	m     *meter.Meter
+}
+
+// New creates an empty network.
+func New() *Network {
+	return &Network{nodes: map[string]*node{}}
+}
+
+// SetFaults installs a fault plan (replacing any previous one).
+func (n *Network) SetFaults(f FaultPlan) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.faults = f
+}
+
+// Register attaches a node to the medium. The meter may be nil.
+func (n *Network) Register(id string, m *meter.Meter) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.nodes[id]; dup {
+		return fmt.Errorf("netsim: duplicate node %q", id)
+	}
+	n.nodes[id] = &node{id: id, m: m}
+	n.order = append(n.order, id)
+	return nil
+}
+
+// Unregister removes a node (used by Leave/Partition flows).
+func (n *Network) Unregister(id string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.nodes, id)
+	for i, v := range n.order {
+		if v == id {
+			n.order = append(n.order[:i], n.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Nodes returns the registered node ids in registration order.
+func (n *Network) Nodes() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]string(nil), n.order...)
+}
+
+// applyFaults mutates or suppresses the message per the plan; it reports
+// whether the message should be delivered.
+func (n *Network) applyFaults(msg *Message) bool {
+	if n.faults.DropFirst != "" && msg.Type == n.faults.DropFirst {
+		n.faults.DropFirst = ""
+		return false
+	}
+	if n.faults.CorruptFirst != "" && msg.Type == n.faults.CorruptFirst &&
+		(n.faults.CorruptFrom == "" || n.faults.CorruptFrom == msg.From) {
+		n.faults.CorruptFirst = ""
+		if len(msg.Payload) > 0 {
+			corrupted := append([]byte(nil), msg.Payload...)
+			corrupted[len(corrupted)/2] ^= 0x5a
+			msg.Payload = corrupted
+		}
+	}
+	return true
+}
+
+// Broadcast sends from -> every other registered node. The sender is
+// charged one transmission; every receiver one reception.
+func (n *Network) Broadcast(from, typ string, payload []byte) error {
+	return n.BroadcastState(from, typ, payload, 0)
+}
+
+// BroadcastState is Broadcast with the trailing stateLen bytes of the
+// payload accounted as state transfer rather than protocol traffic (see
+// meter.Report.StateTx).
+func (n *Network) BroadcastState(from, typ string, payload []byte, stateLen int) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	sender, ok := n.nodes[from]
+	if !ok {
+		return fmt.Errorf("netsim: unknown sender %q", from)
+	}
+	msg := Message{From: from, Type: typ, Payload: payload}
+	sender.m.Tx(len(payload))
+	sender.m.TxState(stateLen)
+	n.totalMsgs++
+	n.totalBytes += int64(len(payload))
+	if !n.applyFaults(&msg) {
+		return nil
+	}
+	for _, id := range n.order {
+		if id == from {
+			continue
+		}
+		rcpt := n.nodes[id]
+		rcpt.m.Rx(len(msg.Payload))
+		rcpt.m.RxState(stateLen)
+		rcpt.inbox = append(rcpt.inbox, msg)
+	}
+	return nil
+}
+
+// Send delivers a unicast message.
+func (n *Network) Send(from, to, typ string, payload []byte) error {
+	return n.SendState(from, to, typ, payload, 0)
+}
+
+// SendState is Send with the trailing stateLen bytes accounted as state
+// transfer.
+func (n *Network) SendState(from, to, typ string, payload []byte, stateLen int) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	sender, ok := n.nodes[from]
+	if !ok {
+		return fmt.Errorf("netsim: unknown sender %q", from)
+	}
+	rcpt, ok := n.nodes[to]
+	if !ok {
+		return fmt.Errorf("netsim: unknown recipient %q", to)
+	}
+	msg := Message{From: from, To: to, Type: typ, Payload: payload}
+	sender.m.Tx(len(payload))
+	sender.m.TxState(stateLen)
+	n.totalMsgs++
+	n.totalBytes += int64(len(payload))
+	if !n.applyFaults(&msg) {
+		return nil
+	}
+	rcpt.m.Rx(len(msg.Payload))
+	rcpt.m.RxState(stateLen)
+	rcpt.inbox = append(rcpt.inbox, msg)
+	return nil
+}
+
+// Recv drains and returns the node's inbox, sorted by (Type, From) for
+// deterministic processing.
+func (n *Network) Recv(id string) ([]Message, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nd, ok := n.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("netsim: unknown node %q", id)
+	}
+	out := nd.inbox
+	nd.inbox = nil
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Type != out[j].Type {
+			return out[i].Type < out[j].Type
+		}
+		return out[i].From < out[j].From
+	})
+	return out, nil
+}
+
+// RecvType drains only messages of the given type, leaving others queued.
+func (n *Network) RecvType(id, typ string) ([]Message, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nd, ok := n.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("netsim: unknown node %q", id)
+	}
+	var out, rest []Message
+	for _, m := range nd.inbox {
+		if m.Type == typ {
+			out = append(out, m)
+		} else {
+			rest = append(rest, m)
+		}
+	}
+	nd.inbox = rest
+	sort.SliceStable(out, func(i, j int) bool { return out[i].From < out[j].From })
+	return out, nil
+}
+
+// PendingCount reports queued messages for a node (testing/diagnostics).
+func (n *Network) PendingCount(id string) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if nd, ok := n.nodes[id]; ok {
+		return len(nd.inbox)
+	}
+	return 0
+}
+
+// Totals reports medium-wide message and byte counts.
+func (n *Network) Totals() (msgs int, bytes int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.totalMsgs, n.totalBytes
+}
+
+// ResetTotals clears the medium-wide counters (per-node meters are owned by
+// their nodes).
+func (n *Network) ResetTotals() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.totalMsgs, n.totalBytes = 0, 0
+}
+
+// ErrEmptyInbox is returned by helpers that require pending messages.
+var ErrEmptyInbox = errors.New("netsim: empty inbox")

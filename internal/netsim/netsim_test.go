@@ -1,0 +1,229 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+
+	"idgka/internal/meter"
+)
+
+func threeNodeNet(t *testing.T) (*Network, map[string]*meter.Meter) {
+	t.Helper()
+	n := New()
+	ms := map[string]*meter.Meter{}
+	for _, id := range []string{"a", "b", "c"} {
+		ms[id] = meter.New()
+		if err := n.Register(id, ms[id]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n, ms
+}
+
+func TestBroadcastDeliveryAndAccounting(t *testing.T) {
+	n, ms := threeNodeNet(t)
+	payload := []byte("hello")
+	if err := n.Broadcast("a", "t1", payload); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"b", "c"} {
+		msgs, err := n.Recv(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msgs) != 1 || msgs[0].From != "a" || string(msgs[0].Payload) != "hello" {
+			t.Fatalf("%s: got %+v", id, msgs)
+		}
+	}
+	// Sender must not receive its own broadcast.
+	if msgs, _ := n.Recv("a"); len(msgs) != 0 {
+		t.Fatal("sender received own broadcast")
+	}
+	ra := ms["a"].Report()
+	rb := ms["b"].Report()
+	if ra.MsgTx != 1 || ra.BytesTx != 5 || ra.MsgRx != 0 {
+		t.Fatalf("sender accounting wrong: %+v", ra)
+	}
+	if rb.MsgRx != 1 || rb.BytesRx != 5 || rb.MsgTx != 0 {
+		t.Fatalf("receiver accounting wrong: %+v", rb)
+	}
+}
+
+func TestUnicast(t *testing.T) {
+	n, ms := threeNodeNet(t)
+	if err := n.Send("a", "b", "t", []byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if msgs, _ := n.Recv("c"); len(msgs) != 0 {
+		t.Fatal("unicast leaked to third party")
+	}
+	msgs, _ := n.Recv("b")
+	if len(msgs) != 1 || msgs[0].To != "b" {
+		t.Fatalf("unicast not delivered: %+v", msgs)
+	}
+	if ms["c"].Report().MsgRx != 0 {
+		t.Fatal("third party charged for unicast")
+	}
+}
+
+func TestUnknownNodesRejected(t *testing.T) {
+	n, _ := threeNodeNet(t)
+	if err := n.Broadcast("zz", "t", nil); err == nil {
+		t.Fatal("unknown sender accepted")
+	}
+	if err := n.Send("a", "zz", "t", nil); err == nil {
+		t.Fatal("unknown recipient accepted")
+	}
+	if _, err := n.Recv("zz"); err == nil {
+		t.Fatal("unknown receiver accepted")
+	}
+}
+
+func TestDuplicateRegistrationRejected(t *testing.T) {
+	n := New()
+	if err := n.Register("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("a", nil); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+func TestUnregisterStopsDelivery(t *testing.T) {
+	n, _ := threeNodeNet(t)
+	n.Unregister("c")
+	if err := n.Broadcast("a", "t", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Nodes(); len(got) != 2 {
+		t.Fatalf("Nodes = %v", got)
+	}
+}
+
+func TestRecvTypeFilters(t *testing.T) {
+	n, _ := threeNodeNet(t)
+	n.Broadcast("a", "x", []byte{1})
+	n.Broadcast("c", "y", []byte{2})
+	xs, err := n.RecvType("b", "x")
+	if err != nil || len(xs) != 1 || xs[0].Type != "x" {
+		t.Fatalf("RecvType x: %v %+v", err, xs)
+	}
+	if n.PendingCount("b") != 1 {
+		t.Fatal("y message should remain queued")
+	}
+	ys, _ := n.RecvType("b", "y")
+	if len(ys) != 1 {
+		t.Fatal("y message lost")
+	}
+}
+
+func TestRecvOrderingDeterministic(t *testing.T) {
+	n, _ := threeNodeNet(t)
+	n.Broadcast("c", "t", []byte{3})
+	n.Broadcast("a", "t", []byte{1})
+	msgs, _ := n.Recv("b")
+	if len(msgs) != 2 || msgs[0].From != "a" || msgs[1].From != "c" {
+		t.Fatalf("order not deterministic: %+v", msgs)
+	}
+}
+
+func TestCorruptFirstFault(t *testing.T) {
+	n, _ := threeNodeNet(t)
+	n.SetFaults(FaultPlan{CorruptFirst: "t"})
+	orig := []byte{1, 2, 3, 4, 5}
+	n.Broadcast("a", "t", orig)
+	msgs, _ := n.Recv("b")
+	if string(msgs[0].Payload) == string(orig) {
+		t.Fatal("payload not corrupted")
+	}
+	// Fault disarms after one hit.
+	n.Broadcast("a", "t", orig)
+	msgs, _ = n.Recv("b")
+	if string(msgs[0].Payload) != string(orig) {
+		t.Fatal("fault did not disarm")
+	}
+	// Original slice untouched (corruption must copy).
+	if orig[2] != 3 {
+		t.Fatal("fault mutated caller's payload")
+	}
+}
+
+func TestCorruptFromRestriction(t *testing.T) {
+	n, _ := threeNodeNet(t)
+	n.SetFaults(FaultPlan{CorruptFirst: "t", CorruptFrom: "b"})
+	orig := []byte{9, 9, 9}
+	n.Broadcast("a", "t", orig) // not from b: untouched
+	msgs, _ := n.Recv("c")
+	if string(msgs[0].Payload) != string(orig) {
+		t.Fatal("fault hit wrong sender")
+	}
+	n.Broadcast("b", "t", orig)
+	msgs, _ = n.Recv("c")
+	if string(msgs[0].Payload) == string(orig) {
+		t.Fatal("fault missed target sender")
+	}
+}
+
+func TestDropFirstFault(t *testing.T) {
+	n, ms := threeNodeNet(t)
+	n.SetFaults(FaultPlan{DropFirst: "t"})
+	n.Broadcast("a", "t", []byte{1})
+	if msgs, _ := n.Recv("b"); len(msgs) != 0 {
+		t.Fatal("dropped message delivered")
+	}
+	// Tx still charged (radio transmitted), rx not.
+	if ms["a"].Report().MsgTx != 1 {
+		t.Fatal("tx not charged for dropped message")
+	}
+	if ms["b"].Report().MsgRx != 0 {
+		t.Fatal("rx charged for dropped message")
+	}
+}
+
+func TestTotals(t *testing.T) {
+	n, _ := threeNodeNet(t)
+	n.Broadcast("a", "t", []byte{1, 2})
+	n.Send("b", "c", "t", []byte{3})
+	msgs, bytes := n.Totals()
+	if msgs != 2 || bytes != 3 {
+		t.Fatalf("Totals = %d, %d", msgs, bytes)
+	}
+	n.ResetTotals()
+	if m, b := n.Totals(); m != 0 || b != 0 {
+		t.Fatal("ResetTotals failed")
+	}
+}
+
+func TestConcurrentBroadcasts(t *testing.T) {
+	n := New()
+	ids := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for _, id := range ids {
+		if err := n.Register(id, meter.New()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := n.Broadcast(id, "t", []byte{1}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	msgs, _ := n.Totals()
+	if msgs != 400 {
+		t.Fatalf("total msgs = %d, want 400", msgs)
+	}
+	for _, id := range ids {
+		got, _ := n.Recv(id)
+		if len(got) != 350 { // 7 other senders × 50
+			t.Fatalf("%s received %d, want 350", id, len(got))
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package params
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	set := Default()
+	if err := set.Validate(); err != nil {
+		t.Fatalf("embedded default set invalid: %v", err)
+	}
+	if !set.HasMasterKey() {
+		t.Fatal("default set should carry PKG master key")
+	}
+	if set.Schnorr.P.BitLen() != 1024 || set.Schnorr.Q.BitLen() != 160 {
+		t.Fatalf("default Schnorr sizes %d/%d, want 1024/160", set.Schnorr.P.BitLen(), set.Schnorr.Q.BitLen())
+	}
+	if set.Pairing.P.BitLen() != 512 || set.Pairing.Q.BitLen() != 160 {
+		t.Fatalf("default pairing sizes %d/%d, want 512/160", set.Pairing.P.BitLen(), set.Pairing.Q.BitLen())
+	}
+	if set.RSA.N.BitLen() < 1023 {
+		t.Fatalf("default RSA modulus %d bits, want ~1024", set.RSA.N.BitLen())
+	}
+}
+
+func TestDefaultIsSingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default must return the cached set")
+	}
+}
+
+func TestGenerateTestProfile(t *testing.T) {
+	set, err := Generate(rand.Reader, SizeTest)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestGeneratePairingSmall(t *testing.T) {
+	pp, err := GeneratePairing(rand.Reader, 128, 64)
+	if err != nil {
+		t.Fatalf("GeneratePairing: %v", err)
+	}
+	if err := pp.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Generator must have order q: q*G = infinity.
+	if _, _, inf := ssScalarMul(pp.Gx, pp.Gy, pp.Q, pp.P); !inf {
+		t.Fatal("generator order is not q")
+	}
+}
+
+func TestPublicStripsMaster(t *testing.T) {
+	pub := Default().Public()
+	if pub.HasMasterKey() {
+		t.Fatal("Public() must strip the master key")
+	}
+	if err := pub.RSA.Validate(); err != nil {
+		t.Fatalf("public RSA params invalid: %v", err)
+	}
+}
+
+func TestPairingValidateRejectsCorrupt(t *testing.T) {
+	good := Default().Pairing
+	bad := *good
+	bad.Gx = new(big.Int).Add(good.Gx, big.NewInt(1))
+	if err := bad.Validate(); err == nil {
+		t.Fatal("off-curve generator accepted")
+	}
+	bad2 := *good
+	bad2.C = new(big.Int).Add(good.C, big.NewInt(1))
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("wrong cofactor accepted")
+	}
+}
+
+func TestSSAddIdentities(t *testing.T) {
+	pp := Default().Pairing
+	// inf + P = P
+	x, y, inf := ssAdd(nil, nil, true, pp.Gx, pp.Gy, false, pp.P)
+	if inf || x.Cmp(pp.Gx) != 0 || y.Cmp(pp.Gy) != 0 {
+		t.Fatal("inf + P != P")
+	}
+	// P + (-P) = inf
+	negY := new(big.Int).Sub(pp.P, pp.Gy)
+	if _, _, inf := ssAdd(pp.Gx, pp.Gy, false, pp.Gx, negY, false, pp.P); !inf {
+		t.Fatal("P + (-P) != inf")
+	}
+}

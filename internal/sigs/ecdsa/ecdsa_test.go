@@ -1,0 +1,131 @@
+package ecdsa
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+
+	"idgka/internal/ec"
+)
+
+func testKey(t testing.TB, c *ec.Curve) *KeyPair {
+	t.Helper()
+	kp, err := GenerateKey(rand.Reader, c)
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	return kp
+}
+
+func TestSignVerifyBothCurves(t *testing.T) {
+	for _, c := range []*ec.Curve{ec.Secp160r1(), ec.P256()} {
+		kp := testKey(t, c)
+		msg := []byte("BD round 2 payload")
+		sig, err := kp.Sign(rand.Reader, msg)
+		if err != nil {
+			t.Fatalf("%s: Sign: %v", c.Name, err)
+		}
+		if err := kp.Verify(msg, sig); err != nil {
+			t.Fatalf("%s: Verify: %v", c.Name, err)
+		}
+		if err := kp.PublicOnly().Verify(msg, sig); err != nil {
+			t.Fatalf("%s: public-only verify: %v", c.Name, err)
+		}
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	kp := testKey(t, ec.Secp160r1())
+	msg := []byte("m")
+	sig, _ := kp.Sign(rand.Reader, msg)
+	if err := kp.Verify([]byte("other"), sig); err == nil {
+		t.Fatal("wrong message accepted")
+	}
+	bad := &Signature{R: new(big.Int).Add(sig.R, big.NewInt(1)), S: sig.S}
+	if err := kp.Verify(msg, bad); err == nil {
+		t.Fatal("tampered r accepted")
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	c := ec.Secp160r1()
+	kp1 := testKey(t, c)
+	kp2 := testKey(t, c)
+	sig, _ := kp1.Sign(rand.Reader, []byte("m"))
+	if err := kp2.Verify([]byte("m"), sig); err == nil {
+		t.Fatal("signature accepted under wrong key")
+	}
+}
+
+func TestVerifyRejectsRangeViolations(t *testing.T) {
+	c := ec.Secp160r1()
+	kp := testKey(t, c)
+	for _, sig := range []*Signature{
+		nil,
+		{R: big.NewInt(0), S: big.NewInt(1)},
+		{R: c.N, S: big.NewInt(1)},
+		{R: big.NewInt(1), S: big.NewInt(0)},
+	} {
+		if err := kp.Verify([]byte("m"), sig); err == nil {
+			t.Fatalf("out-of-range signature accepted: %+v", sig)
+		}
+	}
+}
+
+func TestVerifyRejectsBadPublicKey(t *testing.T) {
+	c := ec.Secp160r1()
+	kp := testKey(t, c)
+	sig, _ := kp.Sign(rand.Reader, []byte("m"))
+	bad := &KeyPair{Curve: c, Q: ec.Point{X: big.NewInt(1), Y: big.NewInt(1)}}
+	if err := bad.Verify([]byte("m"), sig); err == nil {
+		t.Fatal("off-curve public key accepted")
+	}
+}
+
+func TestSignRequiresPrivate(t *testing.T) {
+	kp := testKey(t, ec.Secp160r1()).PublicOnly()
+	if _, err := kp.Sign(rand.Reader, []byte("m")); err == nil {
+		t.Fatal("public-only key signed")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c := ec.Secp160r1()
+	kp := testKey(t, c)
+	sig, _ := kp.Sign(rand.Reader, []byte("m"))
+	enc := sig.Encode(c)
+	// 168-bit order -> 21-byte components.
+	if len(enc) != 42 {
+		t.Fatalf("wire size %d, want 42", len(enc))
+	}
+	dec, err := Decode(enc, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.R.Cmp(sig.R) != 0 || dec.S.Cmp(sig.S) != 0 {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func BenchmarkSign160(b *testing.B) {
+	kp := testKey(b, ec.Secp160r1())
+	msg := []byte("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kp.Sign(rand.Reader, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerify160(b *testing.B) {
+	kp := testKey(b, ec.Secp160r1())
+	msg := []byte("bench")
+	sig, _ := kp.Sign(rand.Reader, msg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := kp.Verify(msg, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package gq
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+
+	"idgka/internal/hashx"
+	"idgka/internal/mathx"
+	"idgka/internal/params"
+)
+
+func testKey(t testing.TB, id string) *PrivateKey {
+	t.Helper()
+	sk, err := Extract(params.Default().RSA, id)
+	if err != nil {
+		t.Fatalf("Extract(%q): %v", id, err)
+	}
+	return sk
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	sk := testKey(t, "alice")
+	msg := []byte("round-1 keying material")
+	sig, err := sk.SignDefault(msg)
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	if err := Verify(sk.Pub, "alice", msg, sig); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongIdentity(t *testing.T) {
+	sk := testKey(t, "alice")
+	msg := []byte("m")
+	sig, _ := sk.SignDefault(msg)
+	if err := Verify(sk.Pub, "bob", msg, sig); err == nil {
+		t.Fatal("signature verified under wrong identity")
+	}
+}
+
+func TestVerifyRejectsTamperedMessage(t *testing.T) {
+	sk := testKey(t, "alice")
+	sig, _ := sk.SignDefault([]byte("original"))
+	if err := Verify(sk.Pub, "alice", []byte("tampered"), sig); err == nil {
+		t.Fatal("tampered message verified")
+	}
+}
+
+func TestVerifyRejectsTamperedSignature(t *testing.T) {
+	sk := testKey(t, "alice")
+	msg := []byte("m")
+	sig, _ := sk.SignDefault(msg)
+	bad := &Signature{S: new(big.Int).Add(sig.S, big.NewInt(1)), C: sig.C}
+	if err := Verify(sk.Pub, "alice", msg, bad); err == nil {
+		t.Fatal("tampered s verified")
+	}
+	bad2 := &Signature{S: sig.S, C: new(big.Int).Add(sig.C, big.NewInt(1))}
+	if err := Verify(sk.Pub, "alice", msg, bad2); err == nil {
+		t.Fatal("tampered c verified")
+	}
+}
+
+func TestVerifyRejectsMalformed(t *testing.T) {
+	sk := testKey(t, "alice")
+	if err := Verify(sk.Pub, "alice", []byte("m"), nil); err == nil {
+		t.Fatal("nil signature accepted")
+	}
+	if err := Verify(sk.Pub, "alice", []byte("m"), &Signature{S: big.NewInt(0), C: big.NewInt(1)}); err == nil {
+		t.Fatal("zero s accepted")
+	}
+	if err := Verify(sk.Pub, "alice", []byte("m"), &Signature{S: sk.Pub.N, C: big.NewInt(1)}); err == nil {
+		t.Fatal("s = n accepted")
+	}
+}
+
+func TestExtractRequiresMasterKey(t *testing.T) {
+	pub := params.Default().RSA.Public()
+	if _, err := Extract(pub, "alice"); err == nil {
+		t.Fatal("Extract succeeded without master key")
+	}
+	if _, err := Extract(params.Default().RSA, ""); err == nil {
+		t.Fatal("Extract accepted empty identity")
+	}
+}
+
+func TestExtractConsistency(t *testing.T) {
+	rp := params.Default().RSA
+	sk := testKey(t, "alice")
+	// S_ID^e == H(ID) mod n.
+	back := new(big.Int).Exp(sk.S, rp.E, rp.N)
+	if back.Cmp(hashx.IdentityDigest("alice", rp.N)) != 0 {
+		t.Fatal("extracted key does not invert to identity digest")
+	}
+}
+
+// TestBatchVerify exercises equation (2): n users, one shared challenge.
+func TestBatchVerify(t *testing.T) {
+	pub := ParamsFrom(params.Default().RSA)
+	ids := []string{"u1", "u2", "u3", "u4", "u5"}
+	taus := make([]*big.Int, len(ids))
+	ts := make([]*big.Int, len(ids))
+	for i, id := range ids {
+		_ = id
+		tau, ti, err := Commitment(rand.Reader, pub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		taus[i], ts[i] = tau, ti
+	}
+	bigT := mathx.ProductMod(ts, pub.N)
+	z := big.NewInt(0xdeadbeef) // stands in for Π z_i mod p
+	c := GroupChallenge(bigT, z)
+
+	responses := make([]*big.Int, len(ids))
+	for i, id := range ids {
+		sk := testKey(t, id)
+		responses[i] = sk.Respond(taus[i], c)
+	}
+	if err := BatchVerify(pub, ids, responses, c, z); err != nil {
+		t.Fatalf("BatchVerify: %v", err)
+	}
+}
+
+func TestBatchVerifyDetectsOneBadResponse(t *testing.T) {
+	pub := ParamsFrom(params.Default().RSA)
+	ids := []string{"u1", "u2", "u3"}
+	taus := make([]*big.Int, len(ids))
+	ts := make([]*big.Int, len(ids))
+	for i := range ids {
+		tau, ti, err := Commitment(rand.Reader, pub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		taus[i], ts[i] = tau, ti
+	}
+	bigT := mathx.ProductMod(ts, pub.N)
+	z := big.NewInt(7)
+	c := GroupChallenge(bigT, z)
+	responses := make([]*big.Int, len(ids))
+	for i, id := range ids {
+		responses[i] = testKey(t, id).Respond(taus[i], c)
+	}
+	// Corrupt one response.
+	responses[1] = new(big.Int).Add(responses[1], big.NewInt(1))
+	if err := BatchVerify(pub, ids, responses, c, z); err == nil {
+		t.Fatal("batch verification accepted a corrupted response")
+	}
+}
+
+func TestBatchVerifyDetectsImpostor(t *testing.T) {
+	pub := ParamsFrom(params.Default().RSA)
+	// "mallory" signs but claims to be "u2".
+	ids := []string{"u1", "u2"}
+	taus := make([]*big.Int, 2)
+	ts := make([]*big.Int, 2)
+	for i := range ids {
+		tau, ti, err := Commitment(rand.Reader, pub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		taus[i], ts[i] = tau, ti
+	}
+	bigT := mathx.ProductMod(ts, pub.N)
+	z := big.NewInt(7)
+	c := GroupChallenge(bigT, z)
+	responses := []*big.Int{
+		testKey(t, "u1").Respond(taus[0], c),
+		testKey(t, "mallory").Respond(taus[1], c),
+	}
+	if err := BatchVerify(pub, ids, responses, c, z); err == nil {
+		t.Fatal("impostor passed batch verification")
+	}
+}
+
+func TestBatchVerifySizeMismatch(t *testing.T) {
+	pub := ParamsFrom(params.Default().RSA)
+	if err := BatchVerify(pub, []string{"a"}, nil, big.NewInt(1), big.NewInt(1)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if err := BatchVerify(pub, nil, nil, big.NewInt(1), big.NewInt(1)); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+func TestBatchVerifySingleEqualsIndividual(t *testing.T) {
+	// A batch of one is the protocol's degenerate case; make sure the
+	// equation still holds.
+	pub := ParamsFrom(params.Default().RSA)
+	tau, ti, err := Commitment(rand.Reader, pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := big.NewInt(99)
+	c := GroupChallenge(ti, z)
+	resp := testKey(t, "solo").Respond(tau, c)
+	if err := BatchVerify(pub, []string{"solo"}, []*big.Int{resp}, c, z); err != nil {
+		t.Fatalf("singleton batch failed: %v", err)
+	}
+}
+
+func TestCommitmentInRange(t *testing.T) {
+	pub := ParamsFrom(params.Default().RSA)
+	for i := 0; i < 10; i++ {
+		tau, ti, err := Commitment(rand.Reader, pub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tau.Sign() <= 0 || tau.Cmp(pub.N) >= 0 || ti.Sign() <= 0 || ti.Cmp(pub.N) >= 0 {
+			t.Fatal("commitment out of range")
+		}
+	}
+}
+
+func BenchmarkSign(b *testing.B) {
+	sk := testKey(b, "bench")
+	msg := []byte("benchmark message")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.SignDefault(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	sk := testKey(b, "bench")
+	msg := []byte("benchmark message")
+	sig, _ := sk.SignDefault(msg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Verify(sk.Pub, "bench", msg, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchVerify100(b *testing.B) {
+	pub := ParamsFrom(params.Default().RSA)
+	nUsers := 100
+	ids := make([]string, nUsers)
+	taus := make([]*big.Int, nUsers)
+	ts := make([]*big.Int, nUsers)
+	for i := 0; i < nUsers; i++ {
+		ids[i] = "user" + string(rune('0'+i%10)) + string(rune('a'+i/10))
+		tau, ti, err := Commitment(rand.Reader, pub)
+		if err != nil {
+			b.Fatal(err)
+		}
+		taus[i], ts[i] = tau, ti
+	}
+	bigT := mathx.ProductMod(ts, pub.N)
+	z := big.NewInt(42)
+	c := GroupChallenge(bigT, z)
+	responses := make([]*big.Int, nUsers)
+	for i, id := range ids {
+		responses[i] = testKey(b, id).Respond(taus[i], c)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := BatchVerify(pub, ids, responses, c, z); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

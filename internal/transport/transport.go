@@ -1,0 +1,501 @@
+// Package transport carries the protocols over real TCP sockets with the
+// same delivery contract as the in-memory simulator: Broadcast/Send return
+// only once the message sits in every recipient's inbox, so the lockstep
+// orchestrators of internal/core and internal/baseline run unchanged over
+// a genuine network stack.
+//
+// Topology: a Hub process accepts one TCP connection per node and relays
+// frames. Delivery acknowledgements flow back through the hub to the
+// sender, giving the synchronous semantics netsim.Medium promises. A
+// Router bundles any number of local node connections behind the
+// netsim.Medium interface.
+//
+// Frame format (all fields via internal/wire):
+//
+//	kind ‖ seq ‖ from ‖ to ‖ type ‖ stateLen ‖ payload
+//
+// kinds: "hello" (registration), "msg" (data), "ack" (delivery
+// confirmation, node→hub), "done" (hub→sender: all recipients confirmed).
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"idgka/internal/meter"
+	"idgka/internal/netsim"
+	"idgka/internal/wire"
+)
+
+// Frame kinds.
+const (
+	kindHello = "hello"
+	kindMsg   = "msg"
+	kindAck   = "ack"
+	kindDone  = "done"
+)
+
+// frame is the unit of exchange between nodes and the hub.
+type frame struct {
+	Kind     string
+	Seq      uint64
+	From     string
+	To       string // empty = broadcast
+	Type     string
+	StateLen uint64
+	Payload  []byte
+}
+
+// writeFrame serialises a frame with a 4-byte length prefix.
+func writeFrame(w io.Writer, f *frame) error {
+	body := wire.NewBuffer().
+		PutString(f.Kind).
+		PutUint(f.Seq).
+		PutString(f.From).
+		PutString(f.To).
+		PutString(f.Type).
+		PutUint(f.StateLen).
+		PutBytes(f.Payload).
+		Bytes()
+	head := wire.NewBuffer().PutBytes(body).Bytes()
+	_, err := w.Write(head)
+	return err
+}
+
+// readFrame parses one length-prefixed frame.
+func readFrame(r io.Reader) (*frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := int(uint32(lenBuf[0])<<24 | uint32(lenBuf[1])<<16 | uint32(lenBuf[2])<<8 | uint32(lenBuf[3]))
+	if n < 0 || n > 64<<20 {
+		return nil, fmt.Errorf("transport: frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	rd := wire.NewReader(body)
+	f := &frame{
+		Kind:     rd.String(),
+		Seq:      rd.Uint(),
+		From:     rd.String(),
+		To:       rd.String(),
+		Type:     rd.String(),
+		StateLen: rd.Uint(),
+		Payload:  append([]byte(nil), rd.Bytes()...),
+	}
+	if err := rd.Close(); err != nil {
+		return nil, fmt.Errorf("transport: bad frame: %w", err)
+	}
+	return f, nil
+}
+
+// Hub is the relay at the centre of the star topology.
+type Hub struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	conns   map[string]net.Conn
+	pending map[uint64]*delivery
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// delivery tracks outstanding acknowledgements for one relayed message.
+type delivery struct {
+	sender  string
+	waiting map[string]bool
+}
+
+// NewHub starts a hub listening on addr (e.g. "127.0.0.1:0").
+func NewHub(addr string) (*Hub, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	h := &Hub{ln: ln, conns: map[string]net.Conn{}, pending: map[uint64]*delivery{}}
+	h.wg.Add(1)
+	go h.acceptLoop()
+	return h, nil
+}
+
+// Addr returns the hub's listen address.
+func (h *Hub) Addr() string { return h.ln.Addr().String() }
+
+// Close shuts the hub down and disconnects all nodes.
+func (h *Hub) Close() error {
+	h.mu.Lock()
+	h.closed = true
+	err := h.ln.Close()
+	for _, c := range h.conns {
+		_ = c.Close()
+	}
+	h.mu.Unlock()
+	h.wg.Wait()
+	return err
+}
+
+func (h *Hub) acceptLoop() {
+	defer h.wg.Done()
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return
+		}
+		h.wg.Add(1)
+		go h.serve(conn)
+	}
+}
+
+// serve handles one node connection: first frame must be a hello carrying
+// the node id; afterwards msg frames are relayed and ack frames settle
+// deliveries.
+func (h *Hub) serve(conn net.Conn) {
+	defer h.wg.Done()
+	hello, err := readFrame(conn)
+	if err != nil || hello.Kind != kindHello || hello.From == "" {
+		_ = conn.Close()
+		return
+	}
+	id := hello.From
+	h.mu.Lock()
+	if _, dup := h.conns[id]; dup || h.closed {
+		h.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	h.conns[id] = conn
+	h.mu.Unlock()
+	// Confirm registration so Attach is synchronous.
+	if err := writeFrame(conn, &frame{Kind: kindDone, Seq: hello.Seq}); err != nil {
+		return
+	}
+	defer func() {
+		h.mu.Lock()
+		delete(h.conns, id)
+		h.mu.Unlock()
+		_ = conn.Close()
+	}()
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		switch f.Kind {
+		case kindMsg:
+			h.relay(id, f)
+		case kindAck:
+			h.settle(f.Seq, id)
+		}
+	}
+}
+
+// relay forwards a message to its recipients and records the pending
+// delivery; when there are no recipients the done is immediate.
+func (h *Hub) relay(sender string, f *frame) {
+	h.mu.Lock()
+	var recipients []string
+	for id := range h.conns {
+		if id == sender {
+			continue
+		}
+		if f.To == "" || f.To == id {
+			recipients = append(recipients, id)
+		}
+	}
+	d := &delivery{sender: sender, waiting: map[string]bool{}}
+	for _, id := range recipients {
+		d.waiting[id] = true
+	}
+	h.pending[f.Seq] = d
+	conns := make(map[string]net.Conn, len(recipients))
+	for _, id := range recipients {
+		conns[id] = h.conns[id]
+	}
+	senderConn := h.conns[sender]
+	h.mu.Unlock()
+
+	for _, c := range conns {
+		_ = writeFrame(c, f)
+	}
+	if len(recipients) == 0 {
+		h.mu.Lock()
+		delete(h.pending, f.Seq)
+		h.mu.Unlock()
+		if senderConn != nil {
+			_ = writeFrame(senderConn, &frame{Kind: kindDone, Seq: f.Seq})
+		}
+	}
+}
+
+// settle records one recipient's acknowledgement; when the set drains the
+// sender gets its done frame.
+func (h *Hub) settle(seq uint64, by string) {
+	h.mu.Lock()
+	d, ok := h.pending[seq]
+	if !ok {
+		h.mu.Unlock()
+		return
+	}
+	delete(d.waiting, by)
+	var senderConn net.Conn
+	if len(d.waiting) == 0 {
+		delete(h.pending, seq)
+		senderConn = h.conns[d.sender]
+	}
+	h.mu.Unlock()
+	if senderConn != nil {
+		_ = writeFrame(senderConn, &frame{Kind: kindDone, Seq: seq})
+	}
+}
+
+// NodeCount reports currently registered nodes (diagnostics).
+func (h *Hub) NodeCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.conns)
+}
+
+// node is one TCP-connected endpoint owned by a Router.
+type node struct {
+	id   string
+	conn net.Conn
+	m    *meter.Meter
+
+	mu    sync.Mutex
+	inbox []netsim.Message
+	done  map[uint64]chan struct{}
+	err   error
+	wmu   sync.Mutex // serialises frame writes
+}
+
+// Router bundles local nodes behind the netsim.Medium interface: each
+// attached node holds its own TCP connection to the hub, and the medium
+// methods route by node id exactly like the in-memory simulator.
+type Router struct {
+	addr string
+
+	mu    sync.Mutex
+	nodes map[string]*node
+	seq   uint64
+}
+
+// NewRouter creates a router that will dial the given hub address.
+func NewRouter(hubAddr string) *Router {
+	return &Router{addr: hubAddr, nodes: map[string]*node{}}
+}
+
+// Attach dials the hub and registers a node id. The meter may be nil.
+func (r *Router) Attach(id string, m *meter.Meter) error {
+	if id == "" {
+		return errors.New("transport: empty node id")
+	}
+	conn, err := net.Dial("tcp", r.addr)
+	if err != nil {
+		return fmt.Errorf("transport: dial: %w", err)
+	}
+	n := &node{id: id, conn: conn, m: m, done: map[uint64]chan struct{}{}}
+	if err := writeFrame(conn, &frame{Kind: kindHello, From: id}); err != nil {
+		_ = conn.Close()
+		return err
+	}
+	// Wait for the hub's registration confirmation before exposing the
+	// node, so subsequent broadcasts from peers cannot miss it.
+	if ack, err := readFrame(conn); err != nil || ack.Kind != kindDone {
+		_ = conn.Close()
+		return fmt.Errorf("transport: registration of %q not confirmed", id)
+	}
+	r.mu.Lock()
+	if _, dup := r.nodes[id]; dup {
+		r.mu.Unlock()
+		_ = conn.Close()
+		return fmt.Errorf("transport: duplicate node %q", id)
+	}
+	r.nodes[id] = n
+	r.mu.Unlock()
+	go n.readLoop()
+	return nil
+}
+
+// Detach closes a node's connection.
+func (r *Router) Detach(id string) {
+	r.mu.Lock()
+	n := r.nodes[id]
+	delete(r.nodes, id)
+	r.mu.Unlock()
+	if n != nil {
+		_ = n.conn.Close()
+	}
+}
+
+// Close detaches every node.
+func (r *Router) Close() {
+	r.mu.Lock()
+	nodes := r.nodes
+	r.nodes = map[string]*node{}
+	r.mu.Unlock()
+	for _, n := range nodes {
+		_ = n.conn.Close()
+	}
+}
+
+// readLoop drains the node's socket: data frames go to the inbox (with an
+// ack back to the hub), done frames release blocked senders.
+func (n *node) readLoop() {
+	for {
+		f, err := readFrame(n.conn)
+		if err != nil {
+			n.mu.Lock()
+			n.err = err
+			for _, ch := range n.done {
+				close(ch)
+			}
+			n.done = map[uint64]chan struct{}{}
+			n.mu.Unlock()
+			return
+		}
+		switch f.Kind {
+		case kindMsg:
+			n.mu.Lock()
+			n.inbox = append(n.inbox, netsim.Message{
+				From: f.From, To: f.To, Type: f.Type, Payload: f.Payload,
+			})
+			n.mu.Unlock()
+			n.m.Rx(len(f.Payload))
+			n.m.RxState(int(f.StateLen))
+			n.wmu.Lock()
+			_ = writeFrame(n.conn, &frame{Kind: kindAck, Seq: f.Seq})
+			n.wmu.Unlock()
+		case kindDone:
+			n.mu.Lock()
+			if ch, ok := n.done[f.Seq]; ok {
+				delete(n.done, f.Seq)
+				close(ch)
+			}
+			n.mu.Unlock()
+		}
+	}
+}
+
+func (r *Router) lookup(id string) (*node, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n, ok := r.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown node %q", id)
+	}
+	return n, nil
+}
+
+// send transmits one frame from a node and blocks until the hub confirms
+// delivery to all recipients.
+func (r *Router) send(from, to, typ string, payload []byte, stateLen int) error {
+	n, err := r.lookup(from)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.seq++
+	seq := r.seq
+	r.mu.Unlock()
+	ch := make(chan struct{})
+	n.mu.Lock()
+	if n.err != nil {
+		err := n.err
+		n.mu.Unlock()
+		return err
+	}
+	n.done[seq] = ch
+	n.mu.Unlock()
+	n.wmu.Lock()
+	err = writeFrame(n.conn, &frame{
+		Kind: kindMsg, Seq: seq, From: from, To: to, Type: typ,
+		StateLen: uint64(stateLen), Payload: payload,
+	})
+	n.wmu.Unlock()
+	if err != nil {
+		return err
+	}
+	n.m.Tx(len(payload))
+	n.m.TxState(stateLen)
+	<-ch
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.err
+}
+
+// Broadcast implements netsim.Medium.
+func (r *Router) Broadcast(from, typ string, payload []byte) error {
+	return r.send(from, "", typ, payload, 0)
+}
+
+// BroadcastState implements netsim.Medium.
+func (r *Router) BroadcastState(from, typ string, payload []byte, stateLen int) error {
+	return r.send(from, "", typ, payload, stateLen)
+}
+
+// Send implements netsim.Medium.
+func (r *Router) Send(from, to, typ string, payload []byte) error {
+	return r.send(from, to, typ, payload, 0)
+}
+
+// SendState implements netsim.Medium.
+func (r *Router) SendState(from, to, typ string, payload []byte, stateLen int) error {
+	return r.send(from, to, typ, payload, stateLen)
+}
+
+// Recv implements netsim.Medium: drain the node's whole inbox.
+func (r *Router) Recv(id string) ([]netsim.Message, error) {
+	n, err := r.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := n.inbox
+	n.inbox = nil
+	sortMessages(out)
+	return out, nil
+}
+
+// RecvType implements netsim.Medium: drain messages of one type.
+func (r *Router) RecvType(id, typ string) ([]netsim.Message, error) {
+	n, err := r.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out, rest []netsim.Message
+	for _, m := range n.inbox {
+		if m.Type == typ {
+			out = append(out, m)
+		} else {
+			rest = append(rest, m)
+		}
+	}
+	n.inbox = rest
+	sortMessages(out)
+	return out, nil
+}
+
+// sortMessages orders deterministically by (Type, From), matching the
+// simulator.
+func sortMessages(msgs []netsim.Message) {
+	for i := 1; i < len(msgs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := msgs[j-1], msgs[j]
+			if a.Type < b.Type || (a.Type == b.Type && a.From <= b.From) {
+				break
+			}
+			msgs[j-1], msgs[j] = b, a
+		}
+	}
+}
+
+var _ netsim.Medium = (*Router)(nil)

@@ -1,0 +1,134 @@
+// Package wire implements the compact deterministic binary encoding used
+// for every protocol message: length-prefixed byte strings, big integers
+// and unsigned varints. Byte counts on the simulated radio are derived from
+// these encodings, so the format is intentionally minimal — a 4-byte length
+// prefix per field, no schema overhead.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/big"
+)
+
+// Buffer accumulates an encoded message.
+type Buffer struct {
+	b []byte
+}
+
+// NewBuffer returns an empty encoder.
+func NewBuffer() *Buffer { return &Buffer{} }
+
+// Bytes returns the encoded message.
+func (w *Buffer) Bytes() []byte { return w.b }
+
+// Len returns the current encoded size.
+func (w *Buffer) Len() int { return len(w.b) }
+
+// PutBytes appends a length-prefixed byte string.
+func (w *Buffer) PutBytes(p []byte) *Buffer {
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(p)))
+	w.b = append(w.b, l[:]...)
+	w.b = append(w.b, p...)
+	return w
+}
+
+// PutString appends a length-prefixed string.
+func (w *Buffer) PutString(s string) *Buffer { return w.PutBytes([]byte(s)) }
+
+// PutBig appends a length-prefixed big integer (minimal big-endian
+// magnitude; nil and zero encode identically as empty).
+func (w *Buffer) PutBig(v *big.Int) *Buffer {
+	if v == nil {
+		return w.PutBytes(nil)
+	}
+	return w.PutBytes(v.Bytes())
+}
+
+// PutUint appends a fixed 8-byte unsigned integer.
+func (w *Buffer) PutUint(v uint64) *Buffer {
+	var l [8]byte
+	binary.BigEndian.PutUint64(l[:], v)
+	w.b = append(w.b, l[:]...)
+	return w
+}
+
+// Reader decodes a message produced by Buffer.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader wraps an encoded message.
+func NewReader(p []byte) *Reader { return &Reader{b: p} }
+
+// Err returns the first decoding error encountered.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining reports the number of undecoded bytes.
+func (r *Reader) Remaining() int { return len(r.b) - r.off }
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = errors.New("wire: truncated message")
+	}
+}
+
+// Bytes reads a length-prefixed byte string.
+func (r *Reader) Bytes() []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+4 > len(r.b) {
+		r.fail()
+		return nil
+	}
+	n := int(binary.BigEndian.Uint32(r.b[r.off:]))
+	r.off += 4
+	if n < 0 || r.off+n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string { return string(r.Bytes()) }
+
+// Big reads a length-prefixed big integer.
+func (r *Reader) Big() *big.Int {
+	p := r.Bytes()
+	if r.err != nil {
+		return nil
+	}
+	return new(big.Int).SetBytes(p)
+}
+
+// Uint reads a fixed 8-byte unsigned integer.
+func (r *Reader) Uint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+// Close verifies the message was fully and cleanly consumed.
+func (r *Reader) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return errors.New("wire: trailing bytes")
+	}
+	return nil
+}
