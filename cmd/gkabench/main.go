@@ -4,10 +4,16 @@
 // Usage:
 //
 //	gkabench -all                      # everything at default parameters
+//	gkabench -all -json                # same, as machine-readable JSON
 //	gkabench -table 1 -n 10            # Table 1 at group size 10
 //	gkabench -table 4 -n 100 -m 20 -ld 20
 //	gkabench -table 5 -n 100 -m 20 -ld 20   # the paper's exact setting
 //	gkabench -figure 1 -measured 50    # measure counters up to n=50
+//
+// With -json the command emits one JSON document on stdout: the run
+// parameters plus, per regenerated artifact, its name, wall-clock cost
+// and rendered output — so benchmark trajectories (BENCH_*.json) can be
+// captured mechanically across revisions and diffed.
 //
 // Tables 4 and 5 at the paper's n=100 execute tens of thousands of real
 // signature verifications for the BD baseline and take a minute or two;
@@ -16,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -25,6 +32,20 @@ import (
 	"idgka/internal/analytic"
 	"idgka/internal/experiments"
 )
+
+// record is one regenerated artifact in -json mode.
+type record struct {
+	Name      string  `json:"name"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Output    string  `json:"output"`
+}
+
+// document is the top-level -json payload.
+type document struct {
+	Params  map[string]int `json:"params"`
+	Results []record       `json:"results"`
+	TotalMS float64        `json:"total_ms"`
+}
 
 func main() {
 	log.SetFlags(0)
@@ -37,6 +58,7 @@ func main() {
 	ld := flag.Int("ld", 20, "leaving/partitioned users")
 	measured := flag.Int("measured", 10, "largest n measured (not extrapolated) in Figure 1")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
+	jsonOut := flag.Bool("json", false, "emit results as a JSON document on stdout")
 	flag.Parse()
 
 	if !*all && *table == 0 && *figure == 0 && !*ablations {
@@ -48,14 +70,26 @@ func main() {
 	if err != nil {
 		log.Fatalf("environment: %v", err)
 	}
+	doc := document{Params: map[string]int{
+		"n": *n, "m": *m, "ld": *ld, "measured": *measured,
+	}}
+	begin := time.Now()
 	run := func(name string, f func() (string, error)) {
 		start := time.Now()
 		out, err := f()
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
-		fmt.Println(out)
-		fmt.Printf("[%s regenerated in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		doc.Results = append(doc.Results, record{
+			Name:      name,
+			ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+			Output:    out,
+		})
+		if !*jsonOut {
+			fmt.Println(out)
+			fmt.Printf("[%s regenerated in %v]\n\n", name, elapsed.Round(time.Millisecond))
+		}
 	}
 
 	if *all || *table == 1 {
@@ -88,6 +122,15 @@ func main() {
 		run("Related work (ING, GDH.2)", func() (string, error) {
 			return env.RelatedWork(min(*n, 20))
 		})
+	}
+
+	if *jsonOut {
+		doc.TotalMS = float64(time.Since(begin).Microseconds()) / 1000
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			log.Fatalf("encoding: %v", err)
+		}
 	}
 }
 

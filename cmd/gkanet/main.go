@@ -1,10 +1,20 @@
 // Command gkanet runs the authenticated group key agreement over real TCP
 // sockets: a relay hub plus one TCP connection per node, exercising the
-// same protocol code as the simulator (internal/core is generic over the
-// netsim.Medium interface).
+// same protocol engine as the simulator.
 //
-//	gkanet -n 5                 # hub + 5 nodes on loopback
-//	gkanet -listen :7777        # choose the hub port
+// Two execution modes:
+//
+//   - event (default): every node runs as an independent event-driven
+//     worker with its own engine.Machine, driven ONLY by its own inbox —
+//     no global coordinator touches more than one member. This is the
+//     deployment shape of internal/engine.
+//
+//   - lockstep: the original driver (core.RunInitial) marches all members
+//     through the rounds from one goroutine, as the paper's tables do.
+//
+//     gkanet -n 5                 # hub + 5 event-driven nodes on loopback
+//     gkanet -mode lockstep -n 5  # the legacy lockstep orchestrator
+//     gkanet -listen :7777        # choose the hub port
 package main
 
 import (
@@ -12,10 +22,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
 	"idgka/internal/core"
 	"idgka/internal/energy"
+	"idgka/internal/engine"
 	"idgka/internal/meter"
 	"idgka/internal/params"
 	"idgka/internal/sigs/gq"
@@ -27,9 +39,13 @@ func main() {
 	log.SetPrefix("gkanet: ")
 	n := flag.Int("n", 5, "group size")
 	listen := flag.String("listen", "127.0.0.1:0", "hub listen address")
+	mode := flag.String("mode", "event", "execution mode: event (per-node state machines) or lockstep (driver)")
 	flag.Parse()
 	if *n < 2 {
 		log.Fatal("-n must be >= 2")
+	}
+	if *mode != "event" && *mode != "lockstep" {
+		log.Fatalf("unknown -mode %q", *mode)
 	}
 
 	hub, err := transport.NewHub(*listen)
@@ -43,42 +59,198 @@ func main() {
 	defer router.Close()
 
 	set := params.Default()
-	cfg := core.Config{Set: set.Public()}
-	var members []*core.Member
+	cfg := engine.Config{Set: set.Public()}
+	roster := make([]string, *n)
+	meters := make([]*meter.Meter, *n)
+	keys := make([]*gq.PrivateKey, *n)
 	for i := 0; i < *n; i++ {
 		id := fmt.Sprintf("node-%02d", i+1)
 		sk, err := gq.Extract(set.RSA, id)
 		if err != nil {
 			log.Fatalf("extract: %v", err)
 		}
-		m := meter.New()
-		mb, err := core.NewMember(cfg, sk, m)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := router.Attach(id, m); err != nil {
+		roster[i] = id
+		keys[i] = sk
+		meters[i] = meter.New()
+		if err := router.Attach(id, meters[i]); err != nil {
 			log.Fatalf("attach: %v", err)
 		}
-		members = append(members, mb)
 		fmt.Printf("node %s connected over TCP\n", id)
 	}
 
+	var fingerprint [32]byte
 	start := time.Now()
-	if err := core.RunInitial(router, members); err != nil {
-		log.Fatalf("GKA: %v", err)
+	if *mode == "lockstep" {
+		members := make([]*core.Member, *n)
+		for i := range roster {
+			mb, err := core.NewMember(cfg, keys[i], meters[i])
+			if err != nil {
+				log.Fatal(err)
+			}
+			members[i] = mb
+		}
+		if err := core.RunInitial(router, members); err != nil {
+			log.Fatalf("GKA: %v", err)
+		}
+		if err := core.ConfirmKey(router, members); err != nil {
+			log.Fatalf("confirmation: %v", err)
+		}
+		fingerprint = sha256.Sum256(members[0].Key().Bytes())
+	} else {
+		fps, err := runEventDriven(router, cfg, roster, keys, meters)
+		if err != nil {
+			log.Fatalf("GKA: %v", err)
+		}
+		fingerprint = fps[0]
+		for i, fp := range fps {
+			if fp != fingerprint {
+				log.Fatalf("node %s confirmed a different key", roster[i])
+			}
+		}
 	}
 	elapsed := time.Since(start)
-	if err := core.ConfirmKey(router, members); err != nil {
-		log.Fatalf("confirmation: %v", err)
-	}
-	fp := sha256.Sum256(members[0].Key().Bytes())
-	fmt.Printf("\ngroup key agreed and confirmed over TCP in %v\n", elapsed.Round(time.Millisecond))
-	fmt.Printf("key fingerprint: %x\n", fp[:8])
+
+	fmt.Printf("\ngroup key agreed and confirmed over TCP in %v (%s mode)\n",
+		elapsed.Round(time.Millisecond), *mode)
+	fmt.Printf("key fingerprint: %x\n", fingerprint[:8])
 
 	model := energy.DefaultModel()
-	for _, mb := range members {
-		r := mb.Meter().Report()
+	for i, id := range roster {
+		r := meters[i].Report()
 		fmt.Printf("  %-8s tx=%dB rx=%dB -> %.2f mJ (modelled)\n",
-			mb.ID(), r.BytesTx, r.BytesRx, model.EnergyJ(r)*1000)
+			id, r.BytesTx, r.BytesRx, model.EnergyJ(r)*1000)
 	}
+}
+
+// runEventDriven spawns one worker goroutine per node. Each worker owns
+// its member's protocol machine and is driven exclusively by its own
+// inbox: it starts the establishment flow, reacts to whatever the hub
+// delivers, then runs key confirmation the same way. No coordinator ever
+// sees more than one member's state.
+//
+// Failures — including protocol-retryable ones — are fatal here: the
+// paper's "all members retransmit" loop needs every member to agree on
+// restarting an attempt, and without a coordinator that agreement is a
+// protocol extension of its own (the engine's attempt numbering is the
+// hook for it). Lockstep mode retains the retry loop; over a reliable
+// TCP hub the event path has no transient failures to retry.
+func runEventDriven(router *transport.Router, cfg engine.Config, roster []string,
+	keys []*gq.PrivateKey, meters []*meter.Meter) ([][32]byte, error) {
+
+	const sidEstablish = "gkanet/establish"
+	const sidConfirm = "gkanet/confirm"
+
+	fps := make([][32]byte, len(roster))
+	errs := make([]error, len(roster))
+
+	// First failure wins and tears the transport down, so peers blocked
+	// in RecvWait wake with an error instead of hanging forever on
+	// messages the dead node will never send.
+	var failOnce sync.Once
+	var rootErr error
+	fail := func(err error) {
+		failOnce.Do(func() {
+			rootErr = err
+			router.Close()
+		})
+	}
+
+	var wg sync.WaitGroup
+	for i, id := range roster {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			errs[i] = func() error {
+				mach, err := engine.NewMachine(cfg, keys[i], meters[i])
+				if err != nil {
+					return err
+				}
+				send := func(outs []engine.Outbound) error {
+					return engine.SendAll(router, id, outs)
+				}
+				// pump drives the machine on inbox deliveries until the
+				// predicate is met; every drained message is stepped (the
+				// machine buffers traffic of flows not started yet), so
+				// nothing a faster peer sent early is lost.
+				pump := func(until func(ev engine.Event) bool) error {
+					for {
+						msgs, err := router.RecvWait(id)
+						if err != nil {
+							return err
+						}
+						met := false
+						for _, msg := range msgs {
+							outs, evts := mach.Step(msg)
+							if err := send(outs); err != nil {
+								return err
+							}
+							for _, ev := range evts {
+								if ev.Kind == engine.EventFailed {
+									return fmt.Errorf("%s: flow failed: %w", id, ev.Err)
+								}
+								if until(ev) {
+									met = true
+								}
+							}
+						}
+						if met {
+							return nil
+						}
+					}
+				}
+
+				outs, evts0, err := mach.StartInitial(sidEstablish, roster)
+				if err != nil {
+					return err
+				}
+				for _, ev := range evts0 {
+					if ev.Kind == engine.EventFailed {
+						return fmt.Errorf("%s: start failed: %w", id, ev.Err)
+					}
+				}
+				if err := send(outs); err != nil {
+					return err
+				}
+				if err := pump(func(ev engine.Event) bool {
+					return ev.Kind == engine.EventEstablished && ev.SID == sidEstablish
+				}); err != nil {
+					return err
+				}
+
+				outs, evts, err := mach.StartConfirm(sidConfirm)
+				if err != nil {
+					return err
+				}
+				if err := send(outs); err != nil {
+					return err
+				}
+				confirmed := false
+				for _, ev := range evts {
+					if ev.Kind == engine.EventFailed {
+						return fmt.Errorf("%s: confirm start failed: %w", id, ev.Err)
+					}
+					if ev.Kind == engine.EventConfirmed {
+						confirmed = true
+					}
+				}
+				if !confirmed {
+					if err := pump(func(ev engine.Event) bool {
+						return ev.Kind == engine.EventConfirmed && ev.SID == sidConfirm
+					}); err != nil {
+						return err
+					}
+				}
+				fps[i] = sha256.Sum256(mach.Key().Bytes())
+				return nil
+			}()
+			if errs[i] != nil {
+				fail(fmt.Errorf("node %s: %w", id, errs[i]))
+			}
+		}(i, id)
+	}
+	wg.Wait()
+	if rootErr != nil {
+		return nil, rootErr
+	}
+	return fps, nil
 }

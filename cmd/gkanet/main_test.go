@@ -1,0 +1,63 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"idgka/internal/engine"
+	"idgka/internal/meter"
+	"idgka/internal/params"
+	"idgka/internal/sigs/gq"
+	"idgka/internal/transport"
+)
+
+// TestEventDrivenEstablishmentOverTCP is the acceptance path of the
+// event-driven deployment: a real hub on loopback, one TCP connection per
+// node, and every member driven ONLY by its own inbox — establishment and
+// key confirmation complete with matching fingerprints.
+func TestEventDrivenEstablishmentOverTCP(t *testing.T) {
+	hub, err := transport.NewHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	router := transport.NewRouter(hub.Addr())
+	defer router.Close()
+
+	set := params.Default()
+	cfg := engine.Config{Set: set.Public()}
+	const n = 4
+	roster := make([]string, n)
+	keys := make([]*gq.PrivateKey, n)
+	meters := make([]*meter.Meter, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("node-%02d", i+1)
+		sk, err := gq.Extract(set.RSA, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		roster[i] = id
+		keys[i] = sk
+		meters[i] = meter.New()
+		if err := router.Attach(id, meters[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fps, err := runEventDriven(router, cfg, roster, keys, meters)
+	if err != nil {
+		t.Fatalf("event-driven GKA over TCP: %v", err)
+	}
+	for i := 1; i < n; i++ {
+		if fps[i] != fps[0] {
+			t.Fatalf("node %s confirmed a different key", roster[i])
+		}
+	}
+	// Each member transmitted its two protocol rounds plus one
+	// confirmation digest.
+	for i, m := range meters {
+		if r := m.Report(); r.MsgTx != 3 {
+			t.Errorf("%s: MsgTx = %d, want 3", roster[i], r.MsgTx)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module idgka
+
+go 1.21

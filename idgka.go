@@ -33,6 +33,25 @@
 //
 //	model := idgka.DefaultEnergyModel()
 //	joules := model.EnergyJ(alice.Report())
+//
+// The helpers above run the protocols lockstep over a shared Network.
+// For real deployments each member can instead be driven event-by-event
+// through a Session handle — the application owns the routing, members
+// react only to their own inboxes, and out-of-order or concurrent
+// sessions are tolerated (see Member.NewSession and internal/engine):
+//
+//	sess, _ := alice.NewSession("room-7", roster)
+//	for !sess.Done() {
+//	    for _, p := range sess.Outbox() {
+//	        transportSend(p)
+//	    }
+//	    if err := sess.HandleMessage(transportRecv()); err != nil {
+//	        return err // protocol failure; Done() is now true
+//	    }
+//	}
+//	for _, p := range sess.Outbox() {
+//	    transportSend(p) // the final reaction can commit AND emit
+//	}
 package idgka
 
 import (
@@ -108,6 +127,9 @@ func newAuthority(set *params.Set) (*Authority, error) {
 type Member struct {
 	inner *core.Member
 	m     *meter.Meter
+	// sessions routes engine lifecycle events to the owning event-driven
+	// Session handle (see session.go).
+	sessions map[string]*Session
 }
 
 // NewMember extracts an identity key and builds a participant with default

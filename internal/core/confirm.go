@@ -1,16 +1,12 @@
 package core
 
 import (
-	"crypto/subtle"
-	"fmt"
-
-	"idgka/internal/hashx"
+	"idgka/internal/engine"
 	"idgka/internal/netsim"
-	"idgka/internal/wire"
 )
 
 // MsgConfirm labels key-confirmation broadcasts.
-const MsgConfirm = "gka/confirm"
+const MsgConfirm = engine.MsgConfirm
 
 // ConfirmKey runs an optional explicit key-confirmation round — an
 // extension beyond the paper (whose protocols provide only implicit key
@@ -21,56 +17,7 @@ func ConfirmKey(net netsim.Medium, members []*Member) error {
 	if len(members) == 0 {
 		return errNoSession
 	}
-	digest := func(mb *Member) ([]byte, error) {
-		if mb.sess == nil || mb.sess.Key == nil {
-			return nil, errNoSession
-		}
-		chunks := [][]byte{mb.sess.Key.Bytes(), []byte(mb.id)}
-		for _, id := range mb.sess.Roster {
-			chunks = append(chunks, []byte(id))
-		}
-		return hashx.Sum(hashx.TagKeyConfirm, chunks...), nil
-	}
-	// Broadcast phase.
-	if err := forEach(members, func(mb *Member) error {
-		d, err := digest(mb)
-		if err != nil {
-			return err
-		}
-		payload := wire.NewBuffer().PutString(mb.id).PutBytes(d).Bytes()
-		return net.Broadcast(mb.id, MsgConfirm, payload)
-	}); err != nil {
-		return err
-	}
-	// Verification phase: recompute each peer's expected digest from the
-	// local key and compare.
-	return forEach(members, func(mb *Member) error {
-		msgs, err := net.RecvType(mb.id, MsgConfirm)
-		if err != nil {
-			return err
-		}
-		if len(msgs) < mb.sess.Size()-1 {
-			return fmt.Errorf("core: confirm: %s got %d of %d digests", mb.id, len(msgs), mb.sess.Size()-1)
-		}
-		for _, msg := range msgs {
-			r := wire.NewReader(msg.Payload)
-			peer := r.String()
-			got := r.Bytes()
-			if err := r.Close(); err != nil {
-				return fmt.Errorf("core: confirm from %s: %w", msg.From, err)
-			}
-			if peer != msg.From || mb.sess.Position(peer) < 0 {
-				continue // digests from non-members are ignored
-			}
-			chunks := [][]byte{mb.sess.Key.Bytes(), []byte(peer)}
-			for _, id := range mb.sess.Roster {
-				chunks = append(chunks, []byte(id))
-			}
-			want := hashx.Sum(hashx.TagKeyConfirm, chunks...)
-			if subtle.ConstantTimeCompare(got, want) != 1 {
-				return fmt.Errorf("core: key confirmation failed: %s and %s disagree", mb.id, peer)
-			}
-		}
-		return nil
-	})
+	return runFlowFatal(net, members, func(mb *Member) ([]engine.Outbound, []engine.Event, error) {
+		return mb.mach.StartConfirm(lockstepSID)
+	}, "key confirmation")
 }

@@ -21,7 +21,7 @@ func TestConfirmKeyDetectsDivergence(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Corrupt one member's key.
-	members[1].sess.Key = new(big.Int).Add(members[1].sess.Key, big.NewInt(1))
+	members[1].Session().Key = new(big.Int).Add(members[1].Session().Key, big.NewInt(1))
 	if err := ConfirmKey(net, members); err == nil {
 		t.Fatal("diverged key passed confirmation")
 	}

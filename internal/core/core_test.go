@@ -596,3 +596,39 @@ func TestJoinRequiresSession(t *testing.T) {
 		t.Fatal("join without established session accepted")
 	}
 }
+
+// TestFailedFlowDoesNotPoisonNextRun: a flow that dies mid-way (dropped
+// message -> stall) must leave the members' machines clean, so the group
+// can run another protocol afterwards.
+func TestFailedFlowDoesNotPoisonNextRun(t *testing.T) {
+	net, members := buildGroup(t, 4, nil)
+	if err := RunInitial(net, members); err != nil {
+		t.Fatal(err)
+	}
+	set := params.Default()
+	sk, _ := gq.Extract(set.RSA, "U99")
+	jm := meter.New()
+	joiner, _ := NewMember(Config{Set: set.Public()}, sk, jm)
+	if err := net.Register("U99", jm); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the controller's join broadcast: the join stalls and fails.
+	net.SetFaults(netsim.FaultPlan{DropFirst: MsgJoinCtl})
+	err := RunJoin(net, members, joiner)
+	if err == nil {
+		t.Fatal("join with dropped control message succeeded")
+	}
+	// The failure must NOT invite a retry: members' sessions are now
+	// asymmetric (the controller may have committed), so a re-run cannot
+	// converge.
+	if IsRetryable(err) {
+		t.Errorf("stalled join reported as retryable: %v", err)
+	}
+	// The group must still be able to re-key (old sessions intact,
+	// machines not stuck on the dead join flow).
+	if err := RunLeave(net, members, members[1].ID()); err != nil {
+		t.Fatalf("leave after failed join: %v", err)
+	}
+	remain := append(append([]*Member{}, members[:1]...), members[2:]...)
+	assertAgreement(t, remain)
+}

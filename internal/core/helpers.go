@@ -1,50 +1,224 @@
 package core
 
 import (
-	"errors"
+	"fmt"
 	"sync"
 
+	"idgka/internal/engine"
 	"idgka/internal/netsim"
-	"idgka/internal/wire"
 )
 
-// forEach runs fn concurrently for every member (one goroutine per node,
-// mirroring how the devices compute in the field) and returns the first
-// error observed.
-func forEach(members []*Member, fn func(*Member) error) error {
+// lockstepSID is the session id of driver-pumped flows: the empty id
+// selects the engine's legacy wire mode, whose payloads are byte-identical
+// to the original lockstep implementation (no session envelope), keeping
+// the paper-comparable traffic accounting exact.
+const lockstepSID = ""
+
+// starter begins one member's flow and returns its opening messages.
+type starter func(mb *Member) ([]engine.Outbound, []engine.Event, error)
+
+// errStalled marks an attempt in which the network went quiet before every
+// member finished — e.g. a dropped broadcast; the paper's answer is "all
+// members retransmit again".
+var errStalled = fmt.Errorf("flow stalled: message lost before completion")
+
+// maxSweeps is a livelock backstop far above any protocol's round count.
+const maxSweeps = 1 << 10
+
+// runFlowOnce starts the same flow on every member and pumps messages
+// between the machines over the medium until every machine commits: each
+// sweep drains every member's inbox, steps the machines concurrently (one
+// goroutine per member, as the nodes would compute in the field), then
+// transmits whatever the machines emitted. Retryable protocol failures
+// (verification failure, lost messages) surface as engine-retryable
+// errors for the caller's retransmission loop. On ANY failure the
+// members' in-flight flows are aborted, so a later Run* on the same
+// group starts from a clean machine instead of tripping over a stale
+// active flow.
+func runFlowOnce(net netsim.Medium, members []*Member, start starter) (err error) {
+	defer func() {
+		if err != nil {
+			for _, mb := range members {
+				mb.mach.Abort(lockstepSID)
+			}
+		}
+	}()
+	return pumpFlow(net, members, start)
+}
+
+// pumpFlow is runFlowOnce without the failure cleanup.
+func pumpFlow(net netsim.Medium, members []*Member, start starter) error {
+	n := len(members)
+	outs := make([][]engine.Outbound, n)
+	evts := make([][]engine.Event, n)
+	errs := make([]error, n)
+	done := make([]bool, n)
+
+	// Discard stale traffic from earlier flows a member did not take part
+	// in (e.g. merge broadcasts that arrived while it sat attached to the
+	// medium but idle); nothing of the current flow can exist yet.
+	for _, mb := range members {
+		if _, err := net.Recv(mb.ID()); err != nil {
+			return err
+		}
+	}
+
+	forEach(members, func(i int, mb *Member) {
+		outs[i], evts[i], errs[i] = start(mb)
+	})
+	if err := harvest(members, evts, errs, done); err != nil {
+		return err
+	}
+	if err := transmit(net, members, outs); err != nil {
+		return err
+	}
+
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		inboxes := make([][]netsim.Message, n)
+		total := 0
+		for i, mb := range members {
+			msgs, err := net.Recv(mb.ID())
+			if err != nil {
+				return err
+			}
+			inboxes[i] = msgs
+			total += len(msgs)
+		}
+		if total == 0 {
+			if allDone(done) {
+				return nil
+			}
+			return engine.Retryable(errStalled)
+		}
+		forEach(members, func(i int, mb *Member) {
+			outs[i], evts[i], errs[i] = nil, nil, nil
+			for _, msg := range inboxes[i] {
+				o, e := mb.mach.Step(msg)
+				outs[i] = append(outs[i], o...)
+				evts[i] = append(evts[i], e...)
+			}
+		})
+		if err := harvest(members, evts, errs, done); err != nil {
+			return err
+		}
+		if err := transmit(net, members, outs); err != nil {
+			return err
+		}
+	}
+	return engine.Retryable(errStalled)
+}
+
+// runFlowFatal runs a flow that cannot be retransmitted mid-flight: the
+// Join/Merge/Confirm protocols change per-member state asymmetrically
+// (e.g. the controller may commit the new key before a stall is
+// detected), so re-running them against half-updated sessions cannot
+// converge. Any failure — including a protocol-retryable one — is
+// surfaced stripped of the retryable marker, so callers are not invited
+// into a doomed retry. The full re-key flows (initial, partition) retry
+// safely via runFlowRetrying instead.
+func runFlowFatal(net netsim.Medium, members []*Member, start starter, what string) error {
+	err := runFlowOnce(net, members, start)
+	if err != nil && IsRetryable(err) {
+		return fmt.Errorf("core: %s failed (not retryable mid-flight): %v", what, err)
+	}
+	return err
+}
+
+// runFlowRetrying wraps runFlowOnce in the paper's retransmission loop:
+// on a retryable failure every member aborts, inboxes are drained, and
+// the flow restarts with fresh randomness, up to the configured retry
+// budget.
+func runFlowRetrying(net netsim.Medium, members []*Member, start starter, what string) error {
+	retries := members[0].cfg.Retries()
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		err := runFlowOnce(net, members, start)
+		if err == nil {
+			return nil
+		}
+		if !IsRetryable(err) {
+			return err
+		}
+		lastErr = err
+		drainAll(net, members)
+	}
+	return fmt.Errorf("core: %s failed after retries: %w", what, lastErr)
+}
+
+// forEach runs fn concurrently for every member (one goroutine per node).
+func forEach(members []*Member, fn func(int, *Member)) {
 	var wg sync.WaitGroup
-	errs := make([]error, len(members))
 	for i, mb := range members {
 		wg.Add(1)
 		go func(i int, mb *Member) {
 			defer wg.Done()
-			errs[i] = fn(mb)
+			fn(i, mb)
 		}(i, mb)
 	}
 	wg.Wait()
-	// Prefer a retryable error so the orchestrator re-runs rather than
-	// aborts when both kinds occur in one phase.
+}
+
+// harvest folds per-member step results into the done set, preferring a
+// retryable error over a fatal one when both occur in one phase (so the
+// orchestrator re-runs rather than aborts).
+func harvest(members []*Member, evts [][]engine.Event, errs []error, done []bool) error {
 	var firstFatal error
-	for _, err := range errs {
-		if err == nil {
+	var retry error
+	for i := range members {
+		if errs[i] != nil {
+			if IsRetryable(errs[i]) {
+				retry = errs[i]
+			} else if firstFatal == nil {
+				firstFatal = errs[i]
+			}
 			continue
 		}
-		if IsRetryable(err) {
-			return err
+		for _, ev := range evts[i] {
+			switch ev.Kind {
+			case engine.EventEstablished, engine.EventConfirmed:
+				done[i] = true
+			case engine.EventFailed:
+				if ev.Retryable {
+					retry = engine.Retryable(ev.Err)
+				} else if firstFatal == nil {
+					firstFatal = ev.Err
+				}
+			}
 		}
-		if firstFatal == nil {
-			firstFatal = err
-		}
+	}
+	if retry != nil {
+		return retry
 	}
 	return firstFatal
 }
 
-// drainAll empties members' inboxes between retransmission attempts so a
-// stale message cannot poison the next attempt.
+// transmit sends every emitted message in member order (deterministic for
+// the fault injector and the medium's traffic accounting).
+func transmit(net netsim.Medium, members []*Member, outs [][]engine.Outbound) error {
+	for i, mb := range members {
+		if err := engine.SendAll(net, mb.ID(), outs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func allDone(done []bool) bool {
+	for _, d := range done {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+// drainAll empties members' inboxes and aborts their in-flight flows
+// between retransmission attempts so a stale message cannot poison the
+// next attempt.
 func drainAll(net netsim.Medium, members []*Member) {
 	for _, mb := range members {
-		_, _ = net.Recv(mb.id)
-		mb.pending = pendingRound{}
+		_, _ = net.Recv(mb.ID())
+		mb.mach.Abort(lockstepSID)
 	}
 }
 
@@ -52,54 +226,7 @@ func drainAll(net netsim.Medium, members []*Member) {
 func rosterOf(members []*Member) []string {
 	ids := make([]string, len(members))
 	for i, m := range members {
-		ids[i] = m.id
+		ids[i] = m.ID()
 	}
 	return ids
-}
-
-// errNoSession is returned by dynamic protocols invoked before RunInitial.
-var errNoSession = errors.New("core: member has no established session")
-
-// encodeStateTables serialises the (id, z, t) view a session holds so it
-// can be shipped to joiners and across merged groups. The paper leaves this
-// state acquisition unspecified (its Leave protocol assumes every member
-// knows every z_i and t_i); the transfer bytes are metered separately as
-// state traffic. Entries with neither z nor t are skipped.
-func encodeStateTables(sess *Session) []byte {
-	buf := wire.NewBuffer()
-	var ids []string
-	for _, id := range sess.Roster {
-		if sess.Z[id] != nil || sess.T[id] != nil {
-			ids = append(ids, id)
-		}
-	}
-	buf.PutUint(uint64(len(ids)))
-	for _, id := range ids {
-		buf.PutString(id)
-		buf.PutBig(sess.Z[id])
-		buf.PutBig(sess.T[id])
-	}
-	return buf.Bytes()
-}
-
-// decodeStateTables parses encodeStateTables output into a session,
-// without overwriting values the session already holds fresher copies of
-// (existing entries win: the receiver may have observed later broadcasts).
-func decodeStateTables(r *wire.Reader, sess *Session) error {
-	count := r.Uint()
-	for i := uint64(0); i < count; i++ {
-		id := r.String()
-		z := r.Big()
-		t := r.Big()
-		if r.Err() != nil {
-			return r.Err()
-		}
-		if _, have := sess.Z[id]; !have && z != nil && z.Sign() > 0 {
-			sess.Z[id] = z
-		}
-		if _, have := sess.T[id]; !have && t != nil && t.Sign() > 0 {
-			sess.T[id] = t
-		}
-	}
-	return nil
 }

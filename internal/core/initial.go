@@ -2,296 +2,22 @@ package core
 
 import (
 	"errors"
-	"fmt"
-	"math/big"
 
-	"idgka/internal/bdkey"
-	"idgka/internal/mathx"
-	"idgka/internal/meter"
+	"idgka/internal/engine"
 	"idgka/internal/netsim"
-	"idgka/internal/sigs/gq"
-	"idgka/internal/wire"
 )
 
-// round1 draws the member's fresh keying material and returns the encoded
-// broadcast m_i = U_i ‖ z_i ‖ t_i.
-func (mb *Member) round1(roster []string) ([]byte, error) {
-	sg := mb.cfg.Set.Schnorr
-	r, err := mathx.RandScalar(mb.cfg.rand(), sg.Q)
-	if err != nil {
-		return nil, fmt.Errorf("core: round1: %w", err)
-	}
-	z := sg.Exp(r)
-	mb.m.Exp(1)
-	tau, t, err := gq.Commitment(mb.cfg.rand(), gq.ParamsFrom(mb.cfg.Set.RSA))
-	if err != nil {
-		return nil, err
-	}
-	mb.pending = pendingRound{
-		roster: append([]string(nil), roster...),
-		r:      r, tau: tau,
-		z: map[string]*big.Int{mb.id: z},
-		t: map[string]*big.Int{mb.id: t},
-		x: map[string]*big.Int{},
-		s: map[string]*big.Int{},
-	}
-	return wire.NewBuffer().PutString(mb.id).PutBig(z).PutBig(t).Bytes(), nil
-}
-
-// handleRound1 ingests the peers' round-1 broadcasts.
-func (mb *Member) handleRound1(msgs []netsim.Message) error {
-	for _, msg := range msgs {
-		r := wire.NewReader(msg.Payload)
-		id := r.String()
-		z := r.Big()
-		t := r.Big()
-		if err := r.Close(); err != nil {
-			return errRetry{fmt.Errorf("round1 from %s: %w", msg.From, err)}
-		}
-		if id != msg.From {
-			return errRetry{fmt.Errorf("round1 identity mismatch: payload %q, sender %q", id, msg.From)}
-		}
-		if !mb.inPendingRoster(id) {
-			return errRetry{fmt.Errorf("round1 from non-member %q", id)}
-		}
-		sg := mb.cfg.Set.Schnorr
-		if z.Sign() <= 0 || z.Cmp(sg.P) >= 0 {
-			return errRetry{fmt.Errorf("round1 z from %s out of range", id)}
-		}
-		if t.Sign() <= 0 || t.Cmp(mb.cfg.Set.RSA.N) >= 0 {
-			return errRetry{fmt.Errorf("round1 t from %s out of range", id)}
-		}
-		mb.pending.z[id] = z
-		mb.pending.t[id] = t
-	}
-	if len(mb.pending.z) != len(mb.pending.roster) {
-		return errRetry{fmt.Errorf("round1 incomplete: have %d of %d", len(mb.pending.z), len(mb.pending.roster))}
-	}
-	return nil
-}
-
-// round2 computes X_i, the common challenge c = H(T, Z) and the GQ response
-// s_i, returning the encoded broadcast m'_i = U_i ‖ X_i ‖ s_i.
-func (mb *Member) round2() ([]byte, error) {
-	sg := mb.cfg.Set.Schnorr
-	roster := mb.pending.roster
-	n := len(roster)
-	idx := -1
-	for i, id := range roster {
-		if id == mb.id {
-			idx = i
-			break
-		}
-	}
-	if idx < 0 {
-		return nil, errors.New("core: member not in pending roster")
-	}
-	zNext := mb.pending.z[roster[(idx+1)%n]]
-	zPrev := mb.pending.z[roster[(idx-1+n)%n]]
-	x, err := bdkey.XValue(zNext, zPrev, mb.pending.r, sg.P)
-	if err != nil {
-		return nil, err
-	}
-	mb.m.Exp(1)
-
-	// Z = Π z_i mod p, T = Π t_i mod n, c = H(T, Z).
-	zs := make([]*big.Int, 0, n)
-	ts := make([]*big.Int, 0, n)
-	for _, id := range roster {
-		zs = append(zs, mb.pending.z[id])
-		ts = append(ts, mb.pending.t[id])
-	}
-	bigZ := mathx.ProductMod(zs, sg.P)
-	bigT := mathx.ProductMod(ts, mb.cfg.Set.RSA.N)
-	c := gq.GroupChallenge(bigT, bigZ)
-	s := mb.sk.Respond(mb.pending.tau, c)
-	mb.m.SignGen(meter.SchemeGQ, 1)
-
-	mb.pending.bigZ = bigZ
-	mb.pending.c = c
-	mb.pending.ownX = x
-	mb.pending.ownS = s
-	mb.pending.x[mb.id] = x
-	mb.pending.s[mb.id] = s
-	return wire.NewBuffer().PutString(mb.id).PutBig(x).PutBig(s).Bytes(), nil
-}
-
-// handleRound2 ingests peers' round-2 broadcasts.
-func (mb *Member) handleRound2(msgs []netsim.Message) error {
-	for _, msg := range msgs {
-		r := wire.NewReader(msg.Payload)
-		id := r.String()
-		x := r.Big()
-		s := r.Big()
-		if err := r.Close(); err != nil {
-			return errRetry{fmt.Errorf("round2 from %s: %w", msg.From, err)}
-		}
-		if id != msg.From || !mb.inPendingRoster(id) {
-			return errRetry{fmt.Errorf("round2 bad sender %q/%q", id, msg.From)}
-		}
-		mb.pending.x[id] = x
-		mb.pending.s[id] = s
-	}
-	if len(mb.pending.x) != len(mb.pending.roster) {
-		return errRetry{fmt.Errorf("round2 incomplete: have %d of %d", len(mb.pending.x), len(mb.pending.roster))}
-	}
-	return nil
-}
-
-// finish performs the paper's Authentication and Key Computation phase:
-// one batch verification of all GQ responses (equation 2), the Lemma-1
-// product check on the X values, and the BD key computation (equation 3).
-func (mb *Member) finish() error {
-	sg := mb.cfg.Set.Schnorr
-	roster := mb.pending.roster
-	n := len(roster)
-
-	// Equation (2): c == H((Πs_i)^e · (ΠH(U_i))^{-c}, Z).
-	responses := make([]*big.Int, 0, n)
-	for _, id := range roster {
-		responses = append(responses, mb.pending.s[id])
-	}
-	if err := gq.BatchVerify(gq.ParamsFrom(mb.cfg.Set.RSA), roster, responses, mb.pending.c, mb.pending.bigZ); err != nil {
-		mb.m.SignVer(meter.SchemeGQ, 1)
-		return errRetry{err}
-	}
-	mb.m.SignVer(meter.SchemeGQ, 1)
-
-	// Lemma 1: Π X_i ≡ 1 (mod p).
-	xsOrdered := make([]*big.Int, n)
-	for i, id := range roster {
-		xsOrdered[i] = mb.pending.x[id]
-	}
-	if err := bdkey.CheckLemma1(xsOrdered, sg.P); err != nil {
-		return errRetry{err}
-	}
-
-	// Equation (3): the shared key.
-	idx := 0
-	for i, id := range roster {
-		if id == mb.id {
-			idx = i
-		}
-	}
-	zPrev := mb.pending.z[roster[(idx-1+n)%n]]
-	key, err := bdkey.Key(idx, mb.pending.r, zPrev, xsOrdered, sg.P)
-	if err != nil {
-		return err
-	}
-	mb.m.Exp(1)
-
-	sess := newSession(roster)
-	sess.R = mb.pending.r
-	sess.Tau = mb.pending.tau
-	for id, z := range mb.pending.z {
-		sess.Z[id] = z
-	}
-	for id, t := range mb.pending.t {
-		sess.T[id] = t
-	}
-	sess.Key = key
-	mb.sess = sess
-	mb.pending = pendingRound{}
-	return nil
-}
-
-func (mb *Member) inPendingRoster(id string) bool {
-	for _, v := range mb.pending.roster {
-		if v == id {
-			return true
-		}
-	}
-	return false
-}
-
-// RunInitial executes the two-round authenticated GKA of Section 4 over the
-// network for the given members (ring order = slice order; members[0] is
-// the trusted controller U_1, who broadcasts its round-2 message after all
-// others). On verification failure every member retransmits with fresh
-// randomness, up to cfg.MaxRetries attempts.
+// RunInitial executes the two-round authenticated GKA of Section 4 over
+// the network for the given members (ring order = slice order; members[0]
+// is the trusted controller U_1, whose machine broadcasts its round-2
+// message after all others). On verification failure every member
+// retransmits with fresh randomness, up to cfg.MaxRetries attempts.
 func RunInitial(net netsim.Medium, members []*Member) error {
 	if len(members) < 2 {
 		return errors.New("core: initial GKA needs at least 2 members")
 	}
-	roster := make([]string, len(members))
-	for i, m := range members {
-		roster[i] = m.id
-	}
-	retries := members[0].cfg.maxRetries()
-	var lastErr error
-	for attempt := 0; attempt <= retries; attempt++ {
-		err := runInitialAttempt(net, members, roster)
-		if err == nil {
-			return nil
-		}
-		if !IsRetryable(err) {
-			return err
-		}
-		lastErr = err
-		drainAll(net, members)
-	}
-	return fmt.Errorf("core: initial GKA failed after retries: %w", lastErr)
-}
-
-func runInitialAttempt(net netsim.Medium, members []*Member, roster []string) error {
-	// Round 1: everyone broadcasts m_i.
-	if err := forEach(members, func(mb *Member) error {
-		payload, err := mb.round1(roster)
-		if err != nil {
-			return err
-		}
-		return net.Broadcast(mb.id, MsgRound1, payload)
-	}); err != nil {
-		return err
-	}
-	// Ingest round 1.
-	if err := forEach(members, func(mb *Member) error {
-		msgs, err := net.RecvType(mb.id, MsgRound1)
-		if err != nil {
-			return err
-		}
-		return mb.handleRound1(msgs)
-	}); err != nil {
-		return err
-	}
-	// Round 2: all members except the controller broadcast; the controller
-	// (U_1, a trusted node) broadcasts last, per the paper.
-	if err := forEach(members[1:], func(mb *Member) error {
-		payload, err := mb.round2()
-		if err != nil {
-			return err
-		}
-		return net.Broadcast(mb.id, MsgRound2, payload)
-	}); err != nil {
-		return err
-	}
-	controller := members[0]
-	{
-		msgs, err := net.RecvType(controller.id, MsgRound2)
-		if err != nil {
-			return err
-		}
-		payload, err := controller.round2()
-		if err != nil {
-			return err
-		}
-		if err := controller.handleRound2(msgs); err != nil {
-			return err
-		}
-		if err := net.Broadcast(controller.id, MsgRound2, payload); err != nil {
-			return err
-		}
-	}
-	// Everyone else ingests round 2 (peers + controller) and finishes; the
-	// controller finishes too.
-	if err := forEach(members[1:], func(mb *Member) error {
-		msgs, err := net.RecvType(mb.id, MsgRound2)
-		if err != nil {
-			return err
-		}
-		return mb.handleRound2(msgs)
-	}); err != nil {
-		return err
-	}
-	return forEach(members, func(mb *Member) error { return mb.finish() })
+	roster := rosterOf(members)
+	return runFlowRetrying(net, members, func(mb *Member) ([]engine.Outbound, []engine.Event, error) {
+		return mb.mach.StartInitial(lockstepSID, roster)
+	}, "initial GKA")
 }

@@ -2,15 +2,9 @@ package core
 
 import (
 	"errors"
-	"fmt"
-	"math/big"
 
-	"idgka/internal/mathx"
-	"idgka/internal/meter"
+	"idgka/internal/engine"
 	"idgka/internal/netsim"
-	"idgka/internal/sigs/gq"
-	"idgka/internal/sym"
-	"idgka/internal/wire"
 )
 
 // RunJoin executes the three-round Join protocol of Section 7, admitting
@@ -28,340 +22,13 @@ func RunJoin(net netsim.Medium, members []*Member, joiner *Member) error {
 		return errors.New("core: join needs an existing group of >= 2")
 	}
 	for _, mb := range members {
-		if mb.sess == nil || mb.sess.Key == nil {
+		if mb.Session() == nil || mb.Session().Key == nil {
 			return errNoSession
 		}
 	}
-	u1 := members[0]
-	un := members[len(members)-1]
-	sg := u1.cfg.Set.Schnorr
-
-	// --- Round 1: the joiner broadcasts z_{n+1} under a GQ signature. ---
-	rJoin, err := mathx.RandScalar(joiner.cfg.rand(), sg.Q)
-	if err != nil {
-		return err
-	}
-	zJoin := sg.Exp(rJoin)
-	joiner.m.Exp(1)
-	signed := wire.NewBuffer().PutString(joiner.id).PutBig(zJoin).Bytes()
-	sig, err := joiner.sk.Sign(joiner.cfg.rand(), signed)
-	if err != nil {
-		return err
-	}
-	joiner.m.SignGen(meter.SchemeGQ, 1)
-	m1 := wire.NewBuffer().PutString(joiner.id).PutBig(zJoin).PutBig(sig.S).PutBig(sig.C).Bytes()
-	if err := net.Broadcast(joiner.id, MsgJoin1, m1); err != nil {
-		return err
-	}
-
-	// Every existing member receives m_{n+1}; U_1 and U_n act on it.
-	type joinR1 struct {
-		id  string
-		z   *big.Int
-		sig *gq.Signature
-	}
-	parseR1 := func(mb *Member) (*joinR1, error) {
-		msgs, err := net.RecvType(mb.id, MsgJoin1)
-		if err != nil {
-			return nil, err
-		}
-		if len(msgs) != 1 {
-			return nil, fmt.Errorf("core: join round1: expected 1 message, got %d", len(msgs))
-		}
-		r := wire.NewReader(msgs[0].Payload)
-		out := &joinR1{id: r.String(), z: r.Big()}
-		out.sig = &gq.Signature{S: r.Big(), C: r.Big()}
-		if err := r.Close(); err != nil {
-			return nil, err
-		}
-		if out.id != msgs[0].From {
-			return nil, errors.New("core: join round1 identity mismatch")
-		}
-		return out, nil
-	}
-	verifyR1 := func(mb *Member, r1 *joinR1) error {
-		payload := wire.NewBuffer().PutString(r1.id).PutBig(r1.z).Bytes()
-		err := gq.Verify(gq.ParamsFrom(mb.cfg.Set.RSA), r1.id, payload, r1.sig)
-		mb.m.SignVer(meter.SchemeGQ, 1)
-		return err
-	}
-
-	// --- Round 2 ---
-	// U_1: verify σ_{n+1}; compute K* with a fresh r'_1 (equation 5);
-	// broadcast E_K(K* ‖ U_1).
-	r1u1, err := parseR1(u1)
-	if err != nil {
-		return err
-	}
-	if err := verifyR1(u1, r1u1); err != nil {
-		return fmt.Errorf("core: U1 rejects joiner: %w", err)
-	}
-	sessU1 := u1.sess
-	z2 := sessU1.Z[sessU1.neighbor(0, 1)]
-	zn := sessU1.Z[sessU1.Last()]
-	rPrime, err := mathx.RandScalar(u1.cfg.rand(), sg.Q)
-	if err != nil {
-		return err
-	}
-	// K* = K · (z_2·z_n)^{-r_1} · (z_2·z_{n+1})^{r'_1} mod p.
-	t1 := new(big.Int).Mul(z2, zn)
-	t1.Mod(t1, sg.P)
-	t1, err = mathx.ModExp(t1, new(big.Int).Neg(sessU1.R), sg.P)
-	if err != nil {
-		return err
-	}
-	t2 := new(big.Int).Mul(z2, r1u1.z)
-	t2.Mod(t2, sg.P)
-	t2.Exp(t2, rPrime, sg.P)
-	u1.m.Exp(2)
-	kStar := new(big.Int).Mul(sessU1.Key, t1)
-	kStar.Mod(kStar, sg.P)
-	kStar.Mul(kStar, t2)
-	kStar.Mod(kStar, sg.P)
-
-	cipherK, err := sym.NewFromBig(sessU1.Key)
-	if err != nil {
-		return err
-	}
-	wrapped, err := cipherK.WrapSecret(u1.cfg.rand(), kStar, u1.id)
-	if err != nil {
-		return err
-	}
-	u1.m.Sym(1, 0)
-	m2a := wire.NewBuffer().PutString(u1.id).PutBytes(wrapped).Bytes()
-	if err := net.Broadcast(u1.id, MsgJoinCtl, m2a); err != nil {
-		return err
-	}
-
-	// U_n: verify σ_{n+1}; DH key with the joiner; broadcast
-	// E_K(K_DH ‖ U_n) ‖ z_n under a GQ signature.
-	r1un, err := parseR1(un)
-	if err != nil {
-		return err
-	}
-	if err := verifyR1(un, r1un); err != nil {
-		return fmt.Errorf("core: Un rejects joiner: %w", err)
-	}
-	kDH := new(big.Int).Exp(r1un.z, un.sess.R, sg.P)
-	un.m.Exp(1)
-	cipherKn, err := sym.NewFromBig(un.sess.Key)
-	if err != nil {
-		return err
-	}
-	wrappedDH, err := cipherKn.WrapSecret(un.cfg.rand(), kDH, un.id)
-	if err != nil {
-		return err
-	}
-	un.m.Sym(1, 0)
-	znOwn := un.sess.Z[un.id]
-	signedUn := wire.NewBuffer().PutBytes(wrappedDH).PutBig(znOwn).Bytes()
-	sigUn, err := un.sk.Sign(un.cfg.rand(), signedUn)
-	if err != nil {
-		return err
-	}
-	un.m.SignGen(meter.SchemeGQ, 1)
-	m2b := wire.NewBuffer().PutString(un.id).PutBytes(wrappedDH).PutBig(znOwn).
-		PutBig(sigUn.S).PutBig(sigUn.C).Bytes()
-	if err := net.Broadcast(un.id, MsgJoinLast, m2b); err != nil {
-		return err
-	}
-
-	// --- Round 3 ---
-	// Joiner: verify σ'_n, compute the DH key.
-	joinerMsgs, err := net.RecvType(joiner.id, MsgJoinLast)
-	if err != nil {
-		return err
-	}
-	if len(joinerMsgs) != 1 {
-		return fmt.Errorf("core: joiner expected 1 round-2 message from U_n, got %d", len(joinerMsgs))
-	}
-	jr := wire.NewReader(joinerMsgs[0].Payload)
-	unID := jr.String()
-	jWrappedDH := jr.Bytes()
-	jzn := jr.Big()
-	jsig := &gq.Signature{S: jr.Big(), C: jr.Big()}
-	if err := jr.Close(); err != nil {
-		return err
-	}
-	signedCheck := wire.NewBuffer().PutBytes(jWrappedDH).PutBig(jzn).Bytes()
-	if err := gq.Verify(gq.ParamsFrom(joiner.cfg.Set.RSA), unID, signedCheck, jsig); err != nil {
-		joiner.m.SignVer(meter.SchemeGQ, 1)
-		return fmt.Errorf("core: joiner rejects U_n: %w", err)
-	}
-	joiner.m.SignVer(meter.SchemeGQ, 1)
-	kDHJoiner := new(big.Int).Exp(jzn, rJoin, sg.P)
-	joiner.m.Exp(1)
-	// The joiner also discards the U_1 broadcast it cannot read yet.
-	_, _ = net.RecvType(joiner.id, MsgJoinCtl)
-
-	// U_n: decrypt K* from m'_1, re-wrap under the DH key for the joiner.
-	unCtl, err := net.RecvType(un.id, MsgJoinCtl)
-	if err != nil {
-		return err
-	}
-	if len(unCtl) != 1 {
-		return fmt.Errorf("core: U_n expected 1 controller message, got %d", len(unCtl))
-	}
-	ur := wire.NewReader(unCtl[0].Payload)
-	_ = ur.String()
-	unWrapped := ur.Bytes()
-	if err := ur.Close(); err != nil {
-		return err
-	}
-	kStarAtUn, err := cipherKn.UnwrapSecret(unWrapped, u1.id)
-	if err != nil {
-		return fmt.Errorf("core: U_n failed to unwrap K*: %w", err)
-	}
-	un.m.Sym(0, 1)
-	cipherDH, err := sym.NewFromBig(kDH)
-	if err != nil {
-		return err
-	}
-	fwd, err := cipherDH.WrapSecret(un.cfg.rand(), kStarAtUn, un.id)
-	if err != nil {
-		return err
-	}
-	un.m.Sym(1, 0)
-	// Append U_n's session tables so the joiner learns the group's current
-	// z/t state (metered as state transfer; see DESIGN.md §4).
-	tables := encodeStateTables(un.sess)
-	m3 := wire.NewBuffer().PutString(un.id).PutBytes(fwd).Bytes()
-	m3 = append(m3, tables...)
-	if err := net.SendState(un.id, joiner.id, MsgJoinFwd, m3, len(tables)); err != nil {
-		return err
-	}
-
-	// --- Key computation (everyone). ---
-	newRoster := append(rosterOf(members), joiner.id)
-
-	// Joiner: unwrap K* via the DH key and combine.
-	fwdMsgs, err := net.RecvType(joiner.id, MsgJoinFwd)
-	if err != nil {
-		return err
-	}
-	if len(fwdMsgs) != 1 {
-		return fmt.Errorf("core: joiner expected forwarded K*, got %d messages", len(fwdMsgs))
-	}
-	fr := wire.NewReader(fwdMsgs[0].Payload)
-	_ = fr.String()
-	fwdWrapped := fr.Bytes()
-	joinerTables := fr // remaining fields are the state tables, read below
-	cipherDHJoiner, err := sym.NewFromBig(kDHJoiner)
-	if err != nil {
-		return err
-	}
-	kStarJoiner, err := cipherDHJoiner.UnwrapSecret(fwdWrapped, un.id)
-	if err != nil {
-		return fmt.Errorf("core: joiner failed to unwrap K*: %w", err)
-	}
-	joiner.m.Sym(0, 1)
-
-	// Build each member's new session.
-	finalize := func(mb *Member, kStar, kDH *big.Int, r *big.Int) {
-		key := new(big.Int).Mul(kStar, kDH)
-		key.Mod(key, sg.P)
-		old := mb.sess
-		sess := newSession(newRoster)
-		sess.R = r
-		if old != nil {
-			sess.Tau = old.Tau
-			for id, z := range old.Z {
-				sess.Z[id] = z
-			}
-			for id, t := range old.T {
-				sess.T[id] = t
-			}
-		}
-		sess.Z[joiner.id] = zJoin
-		sess.Key = key
-		mb.sess = sess
-	}
-
-	// Ordinary members decrypt both broadcasts.
-	for _, mb := range members[1 : len(members)-1] {
-		ctl, err := net.RecvType(mb.id, MsgJoinCtl)
-		if err != nil {
-			return err
-		}
-		last, err := net.RecvType(mb.id, MsgJoinLast)
-		if err != nil {
-			return err
-		}
-		if len(ctl) != 1 || len(last) != 1 {
-			return fmt.Errorf("core: member %s missing join broadcasts", mb.id)
-		}
-		cr := wire.NewReader(ctl[0].Payload)
-		_ = cr.String()
-		wrappedStar := cr.Bytes()
-		if err := cr.Close(); err != nil {
-			return err
-		}
-		lr := wire.NewReader(last[0].Payload)
-		_ = lr.String()
-		wrappedDHm := lr.Bytes()
-		_ = lr.Big() // z_n (already known)
-		_ = lr.Big() // signature S (covered by U_1/U_n verification; see paper)
-		_ = lr.Big() // signature C
-		if err := lr.Close(); err != nil {
-			return err
-		}
-		cm, err := sym.NewFromBig(mb.sess.Key)
-		if err != nil {
-			return err
-		}
-		ks, err := cm.UnwrapSecret(wrappedStar, u1.id)
-		if err != nil {
-			return fmt.Errorf("core: %s failed to unwrap K*: %w", mb.id, err)
-		}
-		kd, err := cm.UnwrapSecret(wrappedDHm, un.id)
-		if err != nil {
-			return fmt.Errorf("core: %s failed to unwrap K_DH: %w", mb.id, err)
-		}
-		mb.m.Sym(0, 2)
-		finalize(mb, ks, kd, mb.sess.R)
-	}
-
-	// U_1 decrypts K_DH from U_n's broadcast.
-	u1Last, err := net.RecvType(u1.id, MsgJoinLast)
-	if err != nil {
-		return err
-	}
-	if len(u1Last) != 1 {
-		return errors.New("core: U_1 missing U_n broadcast")
-	}
-	u1r := wire.NewReader(u1Last[0].Payload)
-	_ = u1r.String()
-	u1WrappedDH := u1r.Bytes()
-	_ = u1r.Big()
-	_ = u1r.Big()
-	_ = u1r.Big()
-	if err := u1r.Close(); err != nil {
-		return err
-	}
-	kDHAtU1, err := cipherK.UnwrapSecret(u1WrappedDH, un.id)
-	if err != nil {
-		return fmt.Errorf("core: U_1 failed to unwrap K_DH: %w", err)
-	}
-	u1.m.Sym(0, 1)
-	finalize(u1, kStar, kDHAtU1, rPrime) // U_1's exponent becomes r'_1
-
-	// U_n combines its locally known K* and K_DH.
-	finalize(un, kStarAtUn, kDH, un.sess.R)
-
-	// Joiner's session: ingest the transferred state tables, then record
-	// its own z.
-	finalize(joiner, kStarJoiner, kDHJoiner, rJoin)
-	joiner.sess.Z[joiner.id] = zJoin
-	if err := decodeStateTables(joinerTables, joiner.sess); err != nil {
-		return fmt.Errorf("core: joiner state tables: %w", err)
-	}
-	if err := joinerTables.Close(); err != nil {
-		return fmt.Errorf("core: joiner state tables: %w", err)
-	}
-
-	// Drain the joiner round-1 broadcast from uninvolved members' queues.
-	for _, mb := range members[1 : len(members)-1] {
-		_, _ = net.RecvType(mb.id, MsgJoin1)
-	}
-	return nil
+	roster := rosterOf(members)
+	all := append(append([]*Member{}, members...), joiner)
+	return runFlowFatal(net, all, func(mb *Member) ([]engine.Outbound, []engine.Event, error) {
+		return mb.mach.StartJoin(lockstepSID, roster, joiner.ID())
+	}, "join")
 }

@@ -2,15 +2,9 @@ package core
 
 import (
 	"errors"
-	"fmt"
-	"math/big"
 
-	"idgka/internal/bdkey"
-	"idgka/internal/mathx"
-	"idgka/internal/meter"
+	"idgka/internal/engine"
 	"idgka/internal/netsim"
-	"idgka/internal/sigs/gq"
-	"idgka/internal/wire"
 )
 
 // RunLeave executes the two-round Leave protocol of Section 7, removing a
@@ -30,296 +24,32 @@ func RunPartition(net netsim.Medium, members []*Member, leavers []string) error 
 	if len(leavers) == 0 {
 		return errors.New("core: no leavers given")
 	}
-	leaving := map[string]bool{}
-	for _, id := range leavers {
-		leaving[id] = true
-	}
-	var remain []*Member
-	var refresh []*Member // odd-indexed survivors (plus members lacking commitments)
-	for i, mb := range members {
-		if mb.sess == nil || mb.sess.Key == nil {
+	// Members whose stored commitment cannot be reused (e.g. a member that
+	// joined since the last full keying holds no τ) must refresh too.
+	stale := map[string]bool{}
+	for _, mb := range members {
+		if mb.Session() == nil || mb.Session().Key == nil {
 			return errNoSession
 		}
-		if leaving[mb.id] {
-			continue
-		}
-		remain = append(remain, mb)
-		oneBased := i + 1
-		if oneBased%2 == 1 || mb.sess.Tau == nil {
-			refresh = append(refresh, mb)
+		if mb.Session().Tau == nil {
+			stale[mb.ID()] = true
 		}
 	}
-	if len(remain) < 2 {
-		return errors.New("core: partition would leave fewer than 2 members")
-	}
-	if len(remain) == len(members) {
-		return errors.New("core: leavers are not in the group")
-	}
-	newRoster := rosterOf(remain)
-	refreshSet := map[string]bool{}
-	for _, mb := range refresh {
-		refreshSet[mb.id] = true
-	}
-
-	retries := remain[0].cfg.maxRetries()
-	var lastErr error
-	for attempt := 0; attempt <= retries; attempt++ {
-		err := runPartitionAttempt(net, remain, refresh, refreshSet, newRoster)
-		if err == nil {
-			return nil
-		}
-		if !IsRetryable(err) {
-			return err
-		}
-		lastErr = err
-		drainAll(net, remain)
-	}
-	return fmt.Errorf("core: partition failed after retries: %w", lastErr)
-}
-
-func runPartitionAttempt(net netsim.Medium, remain, refresh []*Member, refreshSet map[string]bool, newRoster []string) error {
-	strict := remain[0].cfg.StrictNonceRefresh
-
-	// --- Round 1: refreshers broadcast z'_j ‖ t'_j; in strict mode the
-	// remaining even members broadcast a fresh t'_j as well. ---
-	if err := forEach(remain, func(mb *Member) error {
-		refreshing := refreshSet[mb.id]
-		if !refreshing && !strict {
-			// Paper behaviour: even members stay silent and will reuse
-			// their stored commitment.
-			mb.pending = pendingRound{
-				roster: newRoster,
-				r:      mb.sess.R,
-				tau:    mb.sess.Tau,
-				z:      map[string]*big.Int{},
-				t:      map[string]*big.Int{},
-				x:      map[string]*big.Int{},
-				s:      map[string]*big.Int{},
-			}
-			return nil
-		}
-		sg := mb.cfg.Set.Schnorr
-		r := mb.sess.R
-		var z *big.Int
-		if refreshing {
-			var err error
-			r, err = mathx.RandScalar(mb.cfg.rand(), sg.Q)
-			if err != nil {
-				return err
-			}
-			z = sg.Exp(r)
-			mb.m.Exp(1)
-		}
-		tau, t, err := gq.Commitment(mb.cfg.rand(), gq.ParamsFrom(mb.cfg.Set.RSA))
-		if err != nil {
-			return err
-		}
-		mb.pending = pendingRound{
-			roster: newRoster,
-			r:      r, tau: tau,
-			z: map[string]*big.Int{},
-			t: map[string]*big.Int{mb.id: t},
-			x: map[string]*big.Int{},
-			s: map[string]*big.Int{},
-		}
-		if z != nil {
-			mb.pending.z[mb.id] = z
-		}
-		payload := wire.NewBuffer().PutString(mb.id).PutBig(z).PutBig(t).Bytes()
-		return net.Broadcast(mb.id, MsgLeave1, payload)
-	}); err != nil {
-		return err
-	}
-
-	// Ingest round 1: update z/t views.
-	if err := forEach(remain, func(mb *Member) error {
-		msgs, err := net.RecvType(mb.id, MsgLeave1)
-		if err != nil {
-			return err
-		}
-		// Start from the session's stored views, without overwriting the
-		// fresh own values recorded during the broadcast phase.
-		for _, id := range newRoster {
-			if _, have := mb.pending.z[id]; !have {
-				if z, ok := mb.sess.Z[id]; ok {
-					mb.pending.z[id] = z
-				}
-			}
-			if _, have := mb.pending.t[id]; !have {
-				if t, ok := mb.sess.T[id]; ok {
-					mb.pending.t[id] = t
-				}
-			}
-		}
-		for _, msg := range msgs {
-			r := wire.NewReader(msg.Payload)
-			id := r.String()
-			z := r.Big()
-			t := r.Big()
-			if err := r.Close(); err != nil {
-				return errRetry{fmt.Errorf("leave round1 from %s: %w", msg.From, err)}
-			}
-			if id != msg.From {
-				return errRetry{errors.New("leave round1 identity mismatch")}
-			}
-			if z.Sign() > 0 {
-				mb.pending.z[id] = z
-			}
-			if t.Sign() > 0 {
-				mb.pending.t[id] = t
-			}
-		}
-		// All survivors must now have a current z and t on file.
-		for _, id := range newRoster {
-			if mb.pending.z[id] == nil {
-				return errRetry{fmt.Errorf("leave: %s missing z for %s", mb.id, id)}
-			}
-			if mb.pending.t[id] == nil {
-				return errRetry{fmt.Errorf("leave: %s missing t for %s", mb.id, id)}
-			}
-		}
-		return nil
-	}); err != nil {
-		return err
-	}
-
-	// --- Round 2: everyone broadcasts X'_i ‖ s̄_i; the (new) controller
-	// last. ---
-	if err := forEach(remain[1:], func(mb *Member) error {
-		payload, err := mb.leaveRound2()
-		if err != nil {
-			return err
-		}
-		return net.Broadcast(mb.id, MsgLeave2, payload)
-	}); err != nil {
-		return err
-	}
-	controller := remain[0]
-	{
-		msgs, err := net.RecvType(controller.id, MsgLeave2)
-		if err != nil {
-			return err
-		}
-		payload, err := controller.leaveRound2()
-		if err != nil {
-			return err
-		}
-		if err := controller.handleRound2(msgs); err != nil {
-			return err
-		}
-		if err := net.Broadcast(controller.id, MsgLeave2, payload); err != nil {
-			return err
-		}
-	}
-	if err := forEach(remain[1:], func(mb *Member) error {
-		msgs, err := net.RecvType(mb.id, MsgLeave2)
-		if err != nil {
-			return err
-		}
-		return mb.handleRound2(msgs)
-	}); err != nil {
-		return err
-	}
-
-	// --- Authentication and key computation (equations 10-13). ---
-	return forEach(remain, func(mb *Member) error { return mb.finishLeave(refreshSet) })
-}
-
-// leaveRound2 computes X'_i over the contracted ring plus the batch
-// signature response, reusing the stored commitment for non-refreshing
-// members exactly as the paper specifies.
-func (mb *Member) leaveRound2() ([]byte, error) {
-	sg := mb.cfg.Set.Schnorr
-	roster := mb.pending.roster
-	n := len(roster)
-	idx := -1
-	for i, id := range roster {
-		if id == mb.id {
-			idx = i
-		}
-	}
-	if idx < 0 {
-		return nil, errors.New("core: member not in contracted ring")
-	}
-	zNext := mb.pending.z[roster[(idx+1)%n]]
-	zPrev := mb.pending.z[roster[(idx-1+n)%n]]
-	x, err := bdkey.XValue(zNext, zPrev, mb.pending.r, sg.P)
-	if err != nil {
-		return nil, err
-	}
-	mb.m.Exp(1)
-
-	zs := make([]*big.Int, 0, n)
-	ts := make([]*big.Int, 0, n)
-	for _, id := range roster {
-		zs = append(zs, mb.pending.z[id])
-		ts = append(ts, mb.pending.t[id])
-	}
-	bigZ := mathx.ProductMod(zs, sg.P)
-	bigT := mathx.ProductMod(ts, mb.cfg.Set.RSA.N)
-	c := gq.GroupChallenge(bigT, bigZ)
-	s := mb.sk.Respond(mb.pending.tau, c)
-	mb.m.SignGen(meter.SchemeGQ, 1)
-
-	mb.pending.bigZ = bigZ
-	mb.pending.c = c
-	mb.pending.ownX = x
-	mb.pending.ownS = s
-	mb.pending.x[mb.id] = x
-	mb.pending.s[mb.id] = s
-	return wire.NewBuffer().PutString(mb.id).PutBig(x).PutBig(s).Bytes(), nil
-}
-
-// finishLeave verifies the batch (equation 10/12), checks Lemma 1 and
-// computes the contracted-ring key (equation 11/13), committing the new
-// session.
-func (mb *Member) finishLeave(refreshSet map[string]bool) error {
-	sg := mb.cfg.Set.Schnorr
-	roster := mb.pending.roster
-	n := len(roster)
-	responses := make([]*big.Int, 0, n)
-	for _, id := range roster {
-		responses = append(responses, mb.pending.s[id])
-	}
-	if err := gq.BatchVerify(gq.ParamsFrom(mb.cfg.Set.RSA), roster, responses, mb.pending.c, mb.pending.bigZ); err != nil {
-		mb.m.SignVer(meter.SchemeGQ, 1)
-		return errRetry{err}
-	}
-	mb.m.SignVer(meter.SchemeGQ, 1)
-
-	xsOrdered := make([]*big.Int, n)
-	for i, id := range roster {
-		xsOrdered[i] = mb.pending.x[id]
-	}
-	if err := bdkey.CheckLemma1(xsOrdered, sg.P); err != nil {
-		return errRetry{err}
-	}
-
-	idx := 0
-	for i, id := range roster {
-		if id == mb.id {
-			idx = i
-		}
-	}
-	zPrev := mb.pending.z[roster[(idx-1+n)%n]]
-	key, err := bdkey.Key(idx, mb.pending.r, zPrev, xsOrdered, sg.P)
+	newRoster, refresh, err := engine.PlanPartition(rosterOf(members), leavers, stale)
 	if err != nil {
 		return err
 	}
-	mb.m.Exp(1)
-
-	sess := newSession(roster)
-	sess.R = mb.pending.r
-	sess.Tau = mb.pending.tau
-	for id, z := range mb.pending.z {
-		sess.Z[id] = z
+	remainSet := map[string]bool{}
+	for _, id := range newRoster {
+		remainSet[id] = true
 	}
-	for id, t := range mb.pending.t {
-		sess.T[id] = t
+	var remain []*Member
+	for _, mb := range members {
+		if remainSet[mb.ID()] {
+			remain = append(remain, mb)
+		}
 	}
-	sess.Key = key
-	mb.sess = sess
-	mb.pending = pendingRound{}
-	_ = refreshSet
-	return nil
+	return runFlowRetrying(net, remain, func(mb *Member) ([]engine.Outbound, []engine.Event, error) {
+		return mb.mach.StartPartition(lockstepSID, newRoster, refresh)
+	}, "partition")
 }

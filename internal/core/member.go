@@ -1,159 +1,60 @@
-// Package core implements the paper's contribution: the two-round ID-based
-// authenticated group key agreement of Section 4 (Burmester-Desmedt keying
-// authenticated by a single GQ batch verification) and the four dynamic
-// protocols of Section 7 (Join, Leave, Merge, Partition).
+// Package core implements the paper's contribution — the two-round
+// ID-based authenticated group key agreement of Section 4 and the four
+// dynamic protocols of Section 7 (Join, Leave, Merge, Partition) — as
+// lockstep orchestrators over the event-driven protocol engine of
+// internal/engine.
 //
-// Each participant is a *Member holding its identity key and session state;
-// package-level orchestrators (RunInitial, RunJoin, RunLeave, RunPartition,
-// RunMerge) drive the message rounds over a netsim.Network, running
-// per-member computation concurrently (one goroutine per member, as the
-// nodes would compute in the field) and metering every operation the
-// paper's complexity analysis charges.
+// Each participant is a *Member wrapping an engine.Machine (the
+// per-member protocol state machine); the package-level orchestrators
+// (RunInitial, RunJoin, RunLeave, RunPartition, RunMerge) start the same
+// flow on every machine and then pump delivered messages between them
+// over a netsim.Medium until every machine commits, running per-member
+// computation concurrently (one goroutine per member, as the nodes would
+// compute in the field). The engine meters every operation the paper's
+// complexity analysis charges and emits byte-identical wire traffic in
+// this lockstep mode, so the Tables 1–5 reproduction is unaffected by the
+// refactor. Event-driven deployments (cmd/gkanet, the idgka.Session API,
+// netsim's async mode) drive the same engine without these orchestrators.
 package core
 
 import (
-	"crypto/rand"
 	"errors"
-	"fmt"
-	"io"
 	"math/big"
 
+	"idgka/internal/engine"
 	"idgka/internal/meter"
-	"idgka/internal/params"
 	"idgka/internal/sigs/gq"
 )
 
-// Message type labels on the simulated medium.
+// Message type labels on the simulated medium (owned by internal/engine).
 const (
-	MsgRound1   = "gka/round1"   // m_i  = U_i ‖ z_i ‖ t_i
-	MsgRound2   = "gka/round2"   // m'_i = U_i ‖ X_i ‖ s_i
-	MsgJoin1    = "join/round1"  // m_{n+1} = U_{n+1} ‖ z_{n+1} ‖ σ_{n+1}
-	MsgJoinCtl  = "join/round2a" // m'_1  = U_1 ‖ E_K(K*‖U_1)
-	MsgJoinLast = "join/round2b" // m''_n = U_n ‖ E_K(K_DH‖U_n) ‖ z_n ‖ σ'_n
-	MsgJoinFwd  = "join/round3"  // m'''_n = U_n → U_{n+1}: E_{K_DH}(K*‖U_n)
-	MsgLeave1   = "leave/round1" // m_j  = U_j ‖ z'_j ‖ t'_j
-	MsgLeave2   = "leave/round2" // m'_i = U_i ‖ X'_i ‖ s̄_i
-	MsgMerge1   = "merge/round1" // controller advertisement
-	MsgMerge2   = "merge/round2" // cross+intra wrapped keys
-	MsgMerge3   = "merge/round3" // re-wrapped foreign keys
+	MsgRound1   = engine.MsgRound1   // m_i  = U_i ‖ z_i ‖ t_i
+	MsgRound2   = engine.MsgRound2   // m'_i = U_i ‖ X_i ‖ s_i
+	MsgJoin1    = engine.MsgJoin1    // m_{n+1} = U_{n+1} ‖ z_{n+1} ‖ σ_{n+1}
+	MsgJoinCtl  = engine.MsgJoinCtl  // m'_1  = U_1 ‖ E_K(K*‖U_1)
+	MsgJoinLast = engine.MsgJoinLast // m''_n = U_n ‖ E_K(K_DH‖U_n) ‖ z_n ‖ σ'_n
+	MsgJoinFwd  = engine.MsgJoinFwd  // m'''_n = U_n → U_{n+1}: E_{K_DH}(K*‖U_n)
+	MsgLeave1   = engine.MsgLeave1   // m_j  = U_j ‖ z'_j ‖ t'_j
+	MsgLeave2   = engine.MsgLeave2   // m'_i = U_i ‖ X'_i ‖ s̄_i
+	MsgMerge1   = engine.MsgMerge1   // controller advertisement
+	MsgMerge2   = engine.MsgMerge2   // cross+intra wrapped keys
+	MsgMerge3   = engine.MsgMerge3   // re-wrapped foreign keys
 )
 
-// Config carries the knobs shared by all members of a deployment.
-type Config struct {
-	// Set is the public parameter set from the PKG.
-	Set *params.Set
-	// Rand is the randomness source (crypto/rand when nil).
-	Rand io.Reader
-	// MaxRetries bounds the paper's "all members retransmit again" loop on
-	// verification failure. Zero means 2.
-	MaxRetries int
-	// StrictNonceRefresh makes even-indexed survivors of Leave/Partition
-	// draw fresh GQ commitments (and broadcast the new t'_j in Round 1)
-	// instead of reusing τ_i as the paper specifies. The paper's reuse is a
-	// security weakness (two GQ responses under one commitment leak the
-	// long-term key); see DESIGN.md §4. Off by default for paper fidelity.
-	StrictNonceRefresh bool
-}
-
-func (c Config) rand() io.Reader {
-	if c.Rand == nil {
-		return rand.Reader
-	}
-	return c.Rand
-}
-
-func (c Config) maxRetries() int {
-	if c.MaxRetries <= 0 {
-		return 2
-	}
-	return c.MaxRetries
-}
+// Config carries the knobs shared by all members of a deployment; see the
+// field docs in internal/engine.
+type Config = engine.Config
 
 // Session is the per-member view of an established group: the ring roster,
 // the member's own secrets, everything it has learned about peers, and the
 // current group key.
-type Session struct {
-	// Roster is the ring order U_1 … U_n (index 0 is the trusted
-	// controller U_1).
-	Roster []string
-	// pos maps identity to 0-based ring position.
-	pos map[string]int
-	// R is the member's own Diffie-Hellman exponent r_i.
-	R *big.Int
-	// Tau is the member's GQ commitment τ_i, retained because the
-	// Leave/Partition protocols reuse it for even-indexed survivors.
-	Tau *big.Int
-	// Z holds the latest z_j seen for each member (own included).
-	Z map[string]*big.Int
-	// T holds the latest GQ commitment image t_j for each member.
-	T map[string]*big.Int
-	// Key is the current group key K.
-	Key *big.Int
-}
+type Session = engine.Group
 
-func newSession(roster []string) *Session {
-	s := &Session{
-		Roster: append([]string(nil), roster...),
-		pos:    make(map[string]int, len(roster)),
-		Z:      map[string]*big.Int{},
-		T:      map[string]*big.Int{},
-	}
-	for i, id := range roster {
-		s.pos[id] = i
-	}
-	return s
-}
-
-// Position returns the 0-based ring index of an identity, or -1.
-func (s *Session) Position(id string) int {
-	if p, ok := s.pos[id]; ok {
-		return p
-	}
-	return -1
-}
-
-// Size returns the ring size.
-func (s *Session) Size() int { return len(s.Roster) }
-
-// Controller returns the trusted controller U_1.
-func (s *Session) Controller() string { return s.Roster[0] }
-
-// Last returns U_n, the closing member of the ring.
-func (s *Session) Last() string { return s.Roster[len(s.Roster)-1] }
-
-// neighbor returns the id at offset d from position i around the ring.
-func (s *Session) neighbor(i, d int) string {
-	n := len(s.Roster)
-	return s.Roster[((i+d)%n+n)%n]
-}
-
-// Member is one protocol participant.
+// Member is one protocol participant: a thin handle on the member's
+// event-driven protocol machine.
 type Member struct {
-	cfg Config
-	id  string
-	sk  *gq.PrivateKey
-	m   *meter.Meter
-
-	sess *Session
-
-	// Transient state for an in-flight initial/leave round.
-	pending pendingRound
-}
-
-// pendingRound buffers the values a member accumulates between rounds of
-// the initial protocol and the Leave/Partition protocols.
-type pendingRound struct {
-	roster []string // ring being (re)keyed
-	r      *big.Int
-	tau    *big.Int
-	z      map[string]*big.Int
-	t      map[string]*big.Int
-	x      map[string]*big.Int
-	s      map[string]*big.Int
-	bigZ   *big.Int
-	c      *big.Int
-	ownX   *big.Int
-	ownS   *big.Int
+	cfg  Config
+	mach *engine.Machine
 }
 
 // NewMember constructs a participant from its extracted GQ identity key.
@@ -165,39 +66,34 @@ func NewMember(cfg Config, sk *gq.PrivateKey, m *meter.Meter) (*Member, error) {
 	if sk == nil {
 		return nil, errors.New("core: nil identity key")
 	}
-	return &Member{cfg: cfg, id: sk.ID, sk: sk, m: m}, nil
+	mach, err := engine.NewMachine(cfg, sk, m)
+	if err != nil {
+		return nil, err
+	}
+	return &Member{cfg: cfg, mach: mach}, nil
 }
 
 // ID returns the member's identity.
-func (mb *Member) ID() string { return mb.id }
+func (mb *Member) ID() string { return mb.mach.ID() }
 
 // Meter returns the member's operation meter (may be nil).
-func (mb *Member) Meter() *meter.Meter { return mb.m }
+func (mb *Member) Meter() *meter.Meter { return mb.mach.Meter() }
+
+// Machine returns the member's underlying protocol engine, for callers
+// that drive the member event-by-event instead of through the lockstep
+// orchestrators.
+func (mb *Member) Machine() *engine.Machine { return mb.mach }
 
 // Session returns the member's current session (nil before the initial
 // GKA completes).
-func (mb *Member) Session() *Session { return mb.sess }
+func (mb *Member) Session() *Session { return mb.mach.Group() }
 
 // Key returns the current group key, or nil.
-func (mb *Member) Key() *big.Int {
-	if mb.sess == nil {
-		return nil
-	}
-	return mb.sess.Key
-}
-
-// errRetry marks verification failures that trigger the paper's
-// "all members retransmit again" path.
-type errRetry struct{ cause error }
-
-func (e errRetry) Error() string {
-	return fmt.Sprintf("core: verification failed (retransmit): %v", e.cause)
-}
-func (e errRetry) Unwrap() error { return e.cause }
+func (mb *Member) Key() *big.Int { return mb.mach.Key() }
 
 // IsRetryable reports whether an orchestrator error is the protocol-level
 // "retransmit" signal.
-func IsRetryable(err error) bool {
-	var r errRetry
-	return errors.As(err, &r)
-}
+func IsRetryable(err error) bool { return engine.IsRetryable(err) }
+
+// errNoSession is returned by dynamic protocols invoked before RunInitial.
+var errNoSession = engine.ErrNoSession

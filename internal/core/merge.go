@@ -2,15 +2,9 @@ package core
 
 import (
 	"errors"
-	"fmt"
-	"math/big"
 
-	"idgka/internal/mathx"
-	"idgka/internal/meter"
+	"idgka/internal/engine"
 	"idgka/internal/netsim"
-	"idgka/internal/sigs/gq"
-	"idgka/internal/sym"
-	"idgka/internal/wire"
 )
 
 // RunMerge executes the three-round Merge protocol of Section 7, fusing
@@ -23,379 +17,16 @@ func RunMerge(net netsim.Medium, groupA, groupB []*Member) error {
 		return errors.New("core: merge needs two groups of >= 2")
 	}
 	for _, mb := range append(append([]*Member{}, groupA...), groupB...) {
-		if mb.sess == nil || mb.sess.Key == nil {
+		if mb.Session() == nil || mb.Session().Key == nil {
 			return errNoSession
 		}
 	}
-	u1 := groupA[0] // controller of A
-	uB := groupB[0] // controller of B (the paper's U_{n+1})
-	sg := u1.cfg.Set.Schnorr
-
-	// --- Round 1: both controllers advertise fresh blinded exponents and
-	// their ring-closing member's z under GQ signatures. ---
-	type advert struct {
-		id    string
-		zNew  *big.Int // z̃: fresh controller exponent image
-		zLast *big.Int // z of the ring-closing member (z_n / z_{n+m})
-		sig   *gq.Signature
-	}
-	announce := func(ctl *Member) (*big.Int, error) {
-		rNew, err := mathx.RandScalar(ctl.cfg.rand(), sg.Q)
-		if err != nil {
-			return nil, err
-		}
-		zNew := sg.Exp(rNew)
-		ctl.m.Exp(1)
-		zLast := ctl.sess.Z[ctl.sess.Last()]
-		signed := wire.NewBuffer().PutString(ctl.id).PutBig(zNew).PutBig(zLast).Bytes()
-		sig, err := ctl.sk.Sign(ctl.cfg.rand(), signed)
-		if err != nil {
-			return nil, err
-		}
-		ctl.m.SignGen(meter.SchemeGQ, 1)
-		payload := wire.NewBuffer().PutString(ctl.id).PutBig(zNew).PutBig(zLast).
-			PutBig(sig.S).PutBig(sig.C).Bytes()
-		if err := net.Broadcast(ctl.id, MsgMerge1, payload); err != nil {
-			return nil, err
-		}
-		return rNew, nil
-	}
-	rNewA, err := announce(u1)
-	if err != nil {
-		return err
-	}
-	rNewB, err := announce(uB)
-	if err != nil {
-		return err
-	}
-	recvAdvert := func(mb *Member, from string) (*advert, error) {
-		msgs, err := net.RecvType(mb.id, MsgMerge1)
-		if err != nil {
-			return nil, err
-		}
-		var found *advert
-		for _, msg := range msgs {
-			r := wire.NewReader(msg.Payload)
-			a := &advert{id: r.String(), zNew: r.Big(), zLast: r.Big()}
-			a.sig = &gq.Signature{S: r.Big(), C: r.Big()}
-			if err := r.Close(); err != nil {
-				return nil, err
-			}
-			if a.id == from && msg.From == from {
-				found = a
-			}
-		}
-		if found == nil {
-			return nil, fmt.Errorf("core: %s missing merge advert from %s", mb.id, from)
-		}
-		return found, nil
-	}
-	verifyAdvert := func(mb *Member, a *advert) error {
-		signed := wire.NewBuffer().PutString(a.id).PutBig(a.zNew).PutBig(a.zLast).Bytes()
-		err := gq.Verify(gq.ParamsFrom(mb.cfg.Set.RSA), a.id, signed, a.sig)
-		mb.m.SignVer(meter.SchemeGQ, 1)
-		return err
-	}
-
-	// --- Round 2: each controller verifies the other's advert, derives the
-	// cross-controller DH key, folds its group key into K*, and broadcasts
-	// K* wrapped under both the old group key and the DH key. ---
-	type fold struct {
-		kStar *big.Int
-		kDH   *big.Int
-	}
-	foldController := func(ctl *Member, peerCtl string, rNew *big.Int, firstOfRing bool) (*fold, error) {
-		a, err := recvAdvert(ctl, peerCtl)
-		if err != nil {
-			return nil, err
-		}
-		if err := verifyAdvert(ctl, a); err != nil {
-			return nil, fmt.Errorf("core: %s rejects merge advert: %w", ctl.id, err)
-		}
-		kDH := new(big.Int).Exp(a.zNew, rNew, sg.P)
-		ctl.m.Exp(1)
-		sess := ctl.sess
-		var kStar *big.Int
-		if firstOfRing {
-			// U_1: K*_A = K_A · (z_2·z_n)^{-r_1} · (z_2·z_{n+m})^{r'_1}.
-			z2 := sess.Z[sess.neighbor(0, 1)]
-			zn := sess.Z[sess.Last()]
-			t1 := new(big.Int).Mul(z2, zn)
-			t1.Mod(t1, sg.P)
-			t1, err = mathx.ModExp(t1, new(big.Int).Neg(sess.R), sg.P)
-			if err != nil {
-				return nil, err
-			}
-			t2 := new(big.Int).Mul(z2, a.zLast) // z_{n+m} from the advert
-			t2.Mod(t2, sg.P)
-			t2.Exp(t2, rNew, sg.P)
-			ctl.m.Exp(2)
-			kStar = new(big.Int).Mul(sess.Key, t1)
-			kStar.Mod(kStar, sg.P)
-			kStar.Mul(kStar, t2)
-			kStar.Mod(kStar, sg.P)
-		} else {
-			// U_{n+1}: K*_B = K_B · (z_n·z_{n+2})^{r'_{n+1}} · (z_{n+2}·z_{n+m})^{-r_{n+1}}.
-			zNext := sess.Z[sess.neighbor(0, 1)]   // z_{n+2}
-			zLast := sess.Z[sess.Last()]           // z_{n+m}
-			t1 := new(big.Int).Mul(a.zLast, zNext) // z_n from the advert
-			t1.Mod(t1, sg.P)
-			t1.Exp(t1, rNew, sg.P)
-			t2 := new(big.Int).Mul(zNext, zLast)
-			t2.Mod(t2, sg.P)
-			t2, err = mathx.ModExp(t2, new(big.Int).Neg(sess.R), sg.P)
-			if err != nil {
-				return nil, err
-			}
-			ctl.m.Exp(2)
-			kStar = new(big.Int).Mul(sess.Key, t1)
-			kStar.Mod(kStar, sg.P)
-			kStar.Mul(kStar, t2)
-			kStar.Mod(kStar, sg.P)
-		}
-		// Wrap K* under the old group key and under the DH key.
-		cg, err := sym.NewFromBig(sess.Key)
-		if err != nil {
-			return nil, err
-		}
-		wrapGroup, err := cg.WrapSecret(ctl.cfg.rand(), kStar, ctl.id)
-		if err != nil {
-			return nil, err
-		}
-		cd, err := sym.NewFromBig(kDH)
-		if err != nil {
-			return nil, err
-		}
-		wrapDH, err := cd.WrapSecret(ctl.cfg.rand(), kStar, ctl.id)
-		if err != nil {
-			return nil, err
-		}
-		ctl.m.Sym(2, 0)
-		payload := wire.NewBuffer().PutString(ctl.id).PutBytes(wrapGroup).PutBytes(wrapDH).Bytes()
-		if err := net.Broadcast(ctl.id, MsgMerge2, payload); err != nil {
-			return nil, err
-		}
-		return &fold{kStar: kStar, kDH: kDH}, nil
-	}
-	foldA, err := foldController(u1, uB.id, rNewA, true)
-	if err != nil {
-		return err
-	}
-	foldB, err := foldController(uB, u1.id, rNewB, false)
-	if err != nil {
-		return err
-	}
-
-	// --- Round 3: each controller decrypts the other's K* via the DH key
-	// and re-broadcasts it wrapped under its own group key. ---
-	recvRound2 := func(mb *Member, from string) (wrapGroup, wrapDH []byte, err error) {
-		msgs, err := net.RecvType(mb.id, MsgMerge2)
-		if err != nil {
-			return nil, nil, err
-		}
-		for _, msg := range msgs {
-			r := wire.NewReader(msg.Payload)
-			id := r.String()
-			wg := r.Bytes()
-			wd := r.Bytes()
-			if err := r.Close(); err != nil {
-				return nil, nil, err
-			}
-			if id == from && msg.From == from {
-				wrapGroup, wrapDH = wg, wd
-			}
-		}
-		if wrapGroup == nil {
-			return nil, nil, fmt.Errorf("core: %s missing merge round2 from %s", mb.id, from)
-		}
-		return wrapGroup, wrapDH, nil
-	}
-	crossDecrypt := func(ctl *Member, peer string, kDH *big.Int) (*big.Int, error) {
-		_, wrapDH, err := recvRound2(ctl, peer)
-		if err != nil {
-			return nil, err
-		}
-		cd, err := sym.NewFromBig(kDH)
-		if err != nil {
-			return nil, err
-		}
-		peerKStar, err := cd.UnwrapSecret(wrapDH, peer)
-		if err != nil {
-			return nil, fmt.Errorf("core: %s failed to unwrap peer K*: %w", ctl.id, err)
-		}
-		ctl.m.Sym(0, 1)
-		// Re-wrap under own group key for the rest of the ring.
-		cg, err := sym.NewFromBig(ctl.sess.Key)
-		if err != nil {
-			return nil, err
-		}
-		rewrapped, err := cg.WrapSecret(ctl.cfg.rand(), peerKStar, ctl.id)
-		if err != nil {
-			return nil, err
-		}
-		ctl.m.Sym(1, 0)
-		// Append the controller's session tables so the other group learns
-		// this ring's z/t state (metered as state transfer).
-		tables := encodeStateTables(ctl.sess)
-		payload := wire.NewBuffer().PutString(ctl.id).PutBytes(rewrapped).Bytes()
-		payload = append(payload, tables...)
-		if err := net.BroadcastState(ctl.id, MsgMerge3, payload, len(tables)); err != nil {
-			return nil, err
-		}
-		return peerKStar, nil
-	}
-	kStarBatU1, err := crossDecrypt(u1, uB.id, foldA.kDH)
-	if err != nil {
-		return err
-	}
-	kStarAatUB, err := crossDecrypt(uB, u1.id, foldB.kDH)
-	if err != nil {
-		return err
-	}
-
-	// --- Key computation. ---
-	newRoster := append(rosterOf(groupA), rosterOf(groupB)...)
-	zNewA := sg.Exp(rNewA) // z̃_1 (broadcast in round 1)
-	zNewB := sg.Exp(rNewB) // z̃_{n+1}
-	// Both adverts were broadcast to every node, so every member also
-	// learns the two ring-closing z values; retaining them keeps later
-	// merges and leaves runnable from any member's state.
-	lastA, zLastA := u1.sess.Last(), u1.sess.Z[u1.sess.Last()]
-	lastB, zLastB := uB.sess.Last(), uB.sess.Z[uB.sess.Last()]
-	finalize := func(mb *Member, kA, kB *big.Int, r *big.Int) {
-		key := new(big.Int).Mul(kA, kB)
-		key.Mod(key, sg.P)
-		old := mb.sess
-		sess := newSession(newRoster)
-		sess.R = r
-		sess.Tau = old.Tau
-		for id, z := range old.Z {
-			sess.Z[id] = z
-		}
-		for id, t := range old.T {
-			sess.T[id] = t
-		}
-		sess.Z[u1.id] = zNewA
-		sess.Z[uB.id] = zNewB
-		sess.Z[lastA] = zLastA
-		sess.Z[lastB] = zLastB
-		sess.Key = key
-		mb.sess = sess
-	}
-
-	// parseRound3 extracts the rewrapped secret (when from == wantWrap) and
-	// the raw state-table bytes per sending controller.
-	parseRound3 := func(mb *Member, wantWrap string) (rewrapped []byte, tables map[string][]byte, err error) {
-		msgs, err := net.RecvType(mb.id, MsgMerge3)
-		if err != nil {
-			return nil, nil, err
-		}
-		tables = map[string][]byte{}
-		for _, msg := range msgs {
-			r := wire.NewReader(msg.Payload)
-			id := r.String()
-			w := r.Bytes()
-			if r.Err() != nil {
-				return nil, nil, r.Err()
-			}
-			if id != msg.From {
-				continue
-			}
-			// The remainder of the payload is the state table block.
-			rest := msg.Payload[len(msg.Payload)-r.Remaining():]
-			tables[id] = rest
-			if id == wantWrap {
-				rewrapped = w
-			}
-		}
-		return rewrapped, tables, nil
-	}
-	ingestTables := func(mb *Member, tables map[string][]byte, foreignCtl string) error {
-		blob, ok := tables[foreignCtl]
-		if !ok {
-			return fmt.Errorf("core: %s missing round3 tables from %s", mb.id, foreignCtl)
-		}
-		r := wire.NewReader(blob)
-		if err := decodeStateTables(r, mb.sess); err != nil {
-			return err
-		}
-		return r.Close()
-	}
-
-	// Ordinary members: unwrap K* of their own ring (round 2, own-group
-	// wrap) and the foreign K* (round 3 rebroadcast by their controller).
-	memberDecrypt := func(mb *Member, ownCtl string) (*big.Int, *big.Int, map[string][]byte, error) {
-		wrapGroup, _, err := recvRound2(mb, ownCtl)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		rewrapped, tables, err := parseRound3(mb, ownCtl)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		if rewrapped == nil {
-			return nil, nil, nil, fmt.Errorf("core: %s missing round3 from %s", mb.id, ownCtl)
-		}
-		cg, err := sym.NewFromBig(mb.sess.Key)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		own, err := cg.UnwrapSecret(wrapGroup, ownCtl)
-		if err != nil {
-			return nil, nil, nil, fmt.Errorf("core: %s failed to unwrap own K*: %w", mb.id, err)
-		}
-		foreign, err := cg.UnwrapSecret(rewrapped, ownCtl)
-		if err != nil {
-			return nil, nil, nil, fmt.Errorf("core: %s failed to unwrap foreign K*: %w", mb.id, err)
-		}
-		mb.m.Sym(0, 2)
-		// Drain remaining cross-group traffic this member cannot read.
-		_, _ = net.RecvType(mb.id, MsgMerge1)
-		_, _ = net.RecvType(mb.id, MsgMerge2)
-		return own, foreign, tables, nil
-	}
-	for _, mb := range groupA[1:] {
-		own, foreign, tables, err := memberDecrypt(mb, u1.id)
-		if err != nil {
-			return err
-		}
-		finalize(mb, own, foreign, mb.sess.R)
-		if err := ingestTables(mb, tables, uB.id); err != nil {
-			return err
-		}
-	}
-	for _, mb := range groupB[1:] {
-		own, foreign, tables, err := memberDecrypt(mb, uB.id)
-		if err != nil {
-			return err
-		}
-		// For B members: own = K*_B, foreign = K*_A; K' = K*_A · K*_B.
-		finalize(mb, foreign, own, mb.sess.R)
-		if err := ingestTables(mb, tables, u1.id); err != nil {
-			return err
-		}
-	}
-	// Controllers: parse the peer's round-3 broadcast for its tables.
-	_, tablesAtU1, err := parseRound3(u1, "")
-	if err != nil {
-		return err
-	}
-	_, tablesAtUB, err := parseRound3(uB, "")
-	if err != nil {
-		return err
-	}
-	finalize(u1, foldA.kStar, kStarBatU1, rNewA)
-	finalize(uB, kStarAatUB, foldB.kStar, rNewB)
-	if err := ingestTables(u1, tablesAtU1, uB.id); err != nil {
-		return err
-	}
-	if err := ingestTables(uB, tablesAtUB, u1.id); err != nil {
-		return err
-	}
-	// Drain leftover adverts at controllers.
-	_, _ = net.RecvType(u1.id, MsgMerge1)
-	_, _ = net.RecvType(uB.id, MsgMerge1)
-	return nil
+	rosterA := rosterOf(groupA)
+	rosterB := rosterOf(groupB)
+	all := append(append([]*Member{}, groupA...), groupB...)
+	return runFlowFatal(net, all, func(mb *Member) ([]engine.Outbound, []engine.Event, error) {
+		return mb.mach.StartMerge(lockstepSID, rosterA, rosterB)
+	}, "merge")
 }
 
 // RunMergeMulti folds k groups into one by sequential pairwise merges

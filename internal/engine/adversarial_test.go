@@ -1,0 +1,285 @@
+package engine_test
+
+import (
+	"testing"
+
+	"idgka/internal/engine"
+	"idgka/internal/netsim"
+)
+
+// msgOf converts an engine outbound into a delivered message.
+func msgOf(from string, o engine.Outbound) netsim.Message {
+	return netsim.Message{From: from, To: o.To, Type: o.Type, Payload: o.Payload}
+}
+
+// step feeds one message into a node and returns the reaction.
+func step(t *testing.T, nd *node, msg netsim.Message) []engine.Outbound {
+	t.Helper()
+	outs, evts := nd.mc.Step(msg)
+	nd.record(evts)
+	for _, ev := range evts {
+		if ev.Kind == engine.EventFailed {
+			t.Fatalf("unexpected failure: %v", ev.Err)
+		}
+	}
+	return outs
+}
+
+// TestRound2BeforeRound1 delivers the controller's round-2 traffic before
+// its round-1 view is complete: the machine must buffer the early X/s
+// values and converge once the late round-1 broadcasts arrive.
+func TestRound2BeforeRound1(t *testing.T) {
+	ring := []string{"A", "B", "C"} // A is the controller
+	nodes := buildNodes(t, ring)
+	sid := "s"
+
+	// Start everyone; collect the round-1 broadcasts.
+	r1 := map[string]engine.Outbound{}
+	for _, id := range ring {
+		outs, evts, err := nodes[id].mc.StartInitial(sid, ring)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[id].record(evts)
+		if len(outs) != 1 || outs[0].Type != engine.MsgRound1 {
+			t.Fatalf("%s emitted %d opening messages", id, len(outs))
+		}
+		r1[id] = outs[0]
+	}
+
+	// B and C complete round 1 and emit their round-2 broadcasts.
+	var r2B, r2C engine.Outbound
+	step(t, nodes["B"], msgOf("A", r1["A"]))
+	if outs := step(t, nodes["B"], msgOf("C", r1["C"])); len(outs) == 1 {
+		r2B = outs[0]
+	} else {
+		t.Fatalf("B emitted %d messages after round 1", len(outs))
+	}
+	step(t, nodes["C"], msgOf("A", r1["A"]))
+	if outs := step(t, nodes["C"], msgOf("B", r1["B"])); len(outs) == 1 {
+		r2C = outs[0]
+	} else {
+		t.Fatalf("C emitted %d messages after round 1", len(outs))
+	}
+
+	// Adversarial schedule: the controller sees round 2 BEFORE round 1.
+	if outs := step(t, nodes["A"], msgOf("B", r2B)); len(outs) != 0 {
+		t.Fatalf("controller acted on early round-2 traffic: %d messages", len(outs))
+	}
+	if outs := step(t, nodes["A"], msgOf("C", r2C)); len(outs) != 0 {
+		t.Fatalf("controller acted on early round-2 traffic: %d messages", len(outs))
+	}
+	step(t, nodes["A"], msgOf("B", r1["B"]))
+	outs := step(t, nodes["A"], msgOf("C", r1["C"]))
+	if len(outs) != 1 || outs[0].Type != engine.MsgRound2 {
+		t.Fatalf("controller did not emit round 2 once round 1 completed (got %d messages)", len(outs))
+	}
+	if nodes["A"].established(sid) == nil {
+		t.Fatal("controller did not finish")
+	}
+
+	// The stragglers finish once they hold the full round-2 view (their
+	// peers' broadcasts and the controller's).
+	step(t, nodes["B"], msgOf("C", r2C))
+	step(t, nodes["C"], msgOf("B", r2B))
+	step(t, nodes["B"], msgOf("A", outs[0]))
+	step(t, nodes["C"], msgOf("A", outs[0]))
+	assertSession(t, nodes, ring, sid)
+}
+
+// TestDuplicateBroadcasts delivers every message twice: machines must
+// suppress the duplicates, converge to one key, and charge each metered
+// operation exactly once.
+func TestDuplicateBroadcasts(t *testing.T) {
+	ring := []string{"U01", "U02", "U03", "U04"}
+	nodes := buildNodes(t, ring)
+	// Double every delivery by re-sending each outbound twice.
+	queue := []busDelivery{}
+	enqueue := func(from string, outs []engine.Outbound) {
+		for _, o := range outs {
+			for rep := 0; rep < 2; rep++ {
+				for _, id := range ring {
+					if id != from {
+						queue = append(queue, busDelivery{to: id, msg: msgOf(from, o)})
+					}
+				}
+			}
+		}
+	}
+	for _, id := range ring {
+		outs, evts, err := nodes[id].mc.StartInitial("s", ring)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[id].record(evts)
+		enqueue(id, outs)
+	}
+	for len(queue) > 0 {
+		d := queue[0]
+		queue = queue[1:]
+		nd := nodes[d.to]
+		outs, evts := nd.mc.Step(d.msg)
+		nd.record(evts)
+		enqueue(d.to, outs)
+	}
+	assertSession(t, nodes, ring, "s")
+	// Exactly the paper's per-user operation counts despite double
+	// delivery: 3 exponentiations, 1 signature generation, 1 batch
+	// verification.
+	for _, id := range ring {
+		r := nodes[id].mc.Meter().Report()
+		if r.Exp != 3 || r.TotalSignGen() != 1 || r.TotalSignVer() != 1 {
+			t.Fatalf("%s double-charged under duplicates: Exp=%d gen=%d ver=%d",
+				id, r.Exp, r.TotalSignGen(), r.TotalSignVer())
+		}
+	}
+}
+
+// TestInterleavedSessions runs two concurrent establishments over the same
+// machines (different session ids, different ring orders) with all
+// traffic shuffled into one seeded lottery: both sessions must converge
+// independently.
+func TestInterleavedSessions(t *testing.T) {
+	ring := []string{"U01", "U02", "U03", "U04"}
+	reversed := []string{"U04", "U03", "U02", "U01"}
+	nodes := buildNodes(t, ring)
+	async := netsim.NewAsync(99)
+	for _, id := range ring {
+		id := id
+		nd := nodes[id]
+		if err := async.Register(id, nd.mc.Meter(), func(msg netsim.Message) error {
+			outs, evts := nd.mc.Step(msg)
+			nd.record(evts)
+			return sendAll(async, id, outs)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Start BOTH sessions on every machine before any delivery happens,
+	// then let the scheduler interleave them arbitrarily.
+	for _, id := range ring {
+		outs, evts, err := nodes[id].mc.StartInitial("red", ring)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[id].record(evts)
+		if err := sendAll(async, id, outs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range ring {
+		outs, evts, err := nodes[id].mc.StartInitial("blue", reversed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[id].record(evts)
+		if err := sendAll(async, id, outs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := async.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	red := assertSession(t, nodes, ring, "red")
+	blue := assertSession(t, nodes, ring, "blue")
+	if red.Cmp(blue) == 0 {
+		t.Fatal("independent sessions derived the same key")
+	}
+	// Machine-level session lookup agrees with the events.
+	for _, id := range ring {
+		if g := nodes[id].mc.Session("red"); g == nil || g.Key.Cmp(red) != 0 {
+			t.Fatalf("%s: Session(red) lookup mismatch", id)
+		}
+		if g := nodes[id].mc.Session("blue"); g == nil || g.Key.Cmp(blue) != 0 {
+			t.Fatalf("%s: Session(blue) lookup mismatch", id)
+		}
+	}
+}
+
+// TestEarlyTrafficBuffered delivers round-1 traffic to a machine BEFORE
+// it starts the flow: everything must buffer, replay on StartInitial, and
+// the whole group still converges.
+func TestEarlyTrafficBuffered(t *testing.T) {
+	ring := []string{"B", "C", "A"} // B is the controller; A starts late
+	nodes := buildNodes(t, ring)
+	sid := "s"
+
+	// B and C start and exchange their round-1 broadcasts; neither can
+	// reach round 2 without A's.
+	outsB, _, err := nodes["B"].mc.StartInitial(sid, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outsC, _, err := nodes["C"].mc.StartInitial(sid, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outsB) != 1 || len(outsC) != 1 {
+		t.Fatalf("unexpected opening traffic: %d/%d", len(outsB), len(outsC))
+	}
+	if outs := step(t, nodes["B"], msgOf("C", outsC[0])); len(outs) != 0 {
+		t.Fatal("B advanced without A's round-1 broadcast")
+	}
+	if outs := step(t, nodes["C"], msgOf("B", outsB[0])); len(outs) != 0 {
+		t.Fatal("C advanced without A's round-1 broadcast")
+	}
+
+	// A receives both broadcasts before starting: everything buffers.
+	if outs, _ := nodes["A"].mc.Step(msgOf("B", outsB[0])); len(outs) != 0 {
+		t.Fatal("machine reacted before the flow started")
+	}
+	if outs, _ := nodes["A"].mc.Step(msgOf("C", outsC[0])); len(outs) != 0 {
+		t.Fatal("machine reacted before the flow started")
+	}
+
+	// On start the buffered traffic replays: A's round-1 view is complete
+	// immediately, so it emits round 1 AND round 2 in one go; the bus
+	// routes the remaining handshake to quiescence.
+	b := newBus(t, nodes, ring)
+	b.start("A", func(mc *engine.Machine) ([]engine.Outbound, []engine.Event, error) {
+		return mc.StartInitial(sid, ring)
+	})
+	b.pump()
+	assertSession(t, nodes, ring, sid)
+}
+
+// TestAbortRestartFreshAttempt: after Abort, restarting the same session
+// id must use a fresh attempt number, so in-flight traffic of the aborted
+// attempt is dropped instead of poisoning the new run's duplicate
+// suppression.
+func TestAbortRestartFreshAttempt(t *testing.T) {
+	ring := []string{"A", "B", "C"}
+	nodes := buildNodes(t, ring)
+	sid := "s"
+
+	// Attempt 0: start everyone and capture A's round-1 broadcast as the
+	// straggler that will arrive late.
+	var staleFromA engine.Outbound
+	for _, id := range ring {
+		outs, _, err := nodes[id].mc.StartInitial(sid, ring)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id == "A" {
+			staleFromA = outs[0]
+		}
+	}
+	// The attempt is abandoned (e.g. a lost message elsewhere).
+	for _, id := range ring {
+		nodes[id].mc.Abort(sid)
+	}
+
+	// Attempt 1: fresh start; the straggler from attempt 0 arrives first
+	// at B and must be ignored.
+	b := newBus(t, nodes, ring)
+	if outs, _ := nodes["B"].mc.Step(msgOf("A", staleFromA)); len(outs) != 0 {
+		t.Fatal("stale-attempt traffic provoked a reaction")
+	}
+	for _, id := range ring {
+		b.start(id, func(mc *engine.Machine) ([]engine.Outbound, []engine.Event, error) {
+			return mc.StartInitial(sid, ring)
+		})
+	}
+	b.pump()
+	assertSession(t, nodes, ring, sid)
+}

@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"crypto/subtle"
+	"fmt"
+
+	"idgka/internal/hashx"
+	"idgka/internal/netsim"
+	"idgka/internal/wire"
+)
+
+// confirmFlow runs an optional explicit key-confirmation round — an
+// extension beyond the paper (whose protocols provide only implicit key
+// authentication): every member broadcasts H(key ‖ id ‖ roster) and checks
+// every peer's digest. One hash broadcast per member; detects any
+// divergence in the computed group key before the key is used.
+type confirmFlow struct {
+	mc *Machine
+	g  *Group
+
+	started bool
+	got     map[string]bool
+	seen    map[string]bool
+}
+
+// StartConfirm begins key confirmation over the member's current session.
+func (mc *Machine) StartConfirm(sid string) ([]Outbound, []Event, error) {
+	if mc.group == nil || mc.group.Key == nil {
+		return nil, nil, ErrNoSession
+	}
+	f := &confirmFlow{mc: mc, g: mc.group, got: map[string]bool{}, seen: map[string]bool{}}
+	return mc.start(sid, f)
+}
+
+// digest computes H(key ‖ id ‖ roster) for one claimed holder.
+func (f *confirmFlow) digest(holder string) []byte {
+	chunks := [][]byte{f.g.Key.Bytes(), []byte(holder)}
+	for _, id := range f.g.Roster {
+		chunks = append(chunks, []byte(id))
+	}
+	return hashx.Sum(hashx.TagKeyConfirm, chunks...)
+}
+
+func (f *confirmFlow) deliver(msg *netsim.Message) error {
+	if msg.Type != MsgConfirm {
+		return nil
+	}
+	key := msg.Type + "|" + msg.From
+	if f.seen[key] {
+		return nil // duplicate broadcast
+	}
+	f.seen[key] = true
+	r := wire.NewReader(msg.Payload)
+	peer := r.String()
+	got := r.Bytes()
+	if err := r.Close(); err != nil {
+		return fmt.Errorf("engine: confirm from %s: %w", msg.From, err)
+	}
+	if peer != msg.From || f.g.Position(peer) < 0 {
+		return nil // digests from non-members are ignored
+	}
+	if subtle.ConstantTimeCompare(got, f.digest(peer)) != 1 {
+		return fmt.Errorf("engine: key confirmation failed: %s and %s disagree", f.mc.id, peer)
+	}
+	f.got[peer] = true
+	return nil
+}
+
+func (f *confirmFlow) advance() ([]Outbound, []Event, error) {
+	var outs []Outbound
+	if !f.started {
+		payload := wire.NewBuffer().PutString(f.mc.id).PutBytes(f.digest(f.mc.id)).Bytes()
+		outs = append(outs, Outbound{Type: MsgConfirm, Payload: payload})
+		f.started = true
+	}
+	if len(f.got) == f.g.Size()-1 {
+		return outs, []Event{{Kind: EventConfirmed}}, nil
+	}
+	return outs, nil, nil
+}

@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"fmt"
+	"math/big"
+
+	"idgka/internal/bdkey"
+	"idgka/internal/mathx"
+	"idgka/internal/meter"
+	"idgka/internal/netsim"
+	"idgka/internal/sigs/gq"
+	"idgka/internal/wire"
+)
+
+// ringState is the keying material a member accumulates while (re)keying a
+// Burmester-Desmedt ring: its own exponent and GQ commitment plus the z/t
+// and X/s views of every ring member. It is shared by the initial flow and
+// the Leave/Partition flow, whose round-2 and key-computation phases are
+// mathematically identical.
+type ringState struct {
+	roster []string
+	pos    map[string]int
+	self   int
+
+	r, tau *big.Int
+	z, t   map[string]*big.Int
+	x, s   map[string]*big.Int
+
+	bigZ, c *big.Int
+}
+
+func newRingState(roster []string, self string) (*ringState, error) {
+	rs := &ringState{
+		roster: append([]string(nil), roster...),
+		pos:    make(map[string]int, len(roster)),
+		z:      map[string]*big.Int{},
+		t:      map[string]*big.Int{},
+		x:      map[string]*big.Int{},
+		s:      map[string]*big.Int{},
+		self:   -1,
+	}
+	for i, id := range roster {
+		rs.pos[id] = i
+		if id == self {
+			rs.self = i
+		}
+	}
+	if rs.self < 0 {
+		return nil, fmt.Errorf("engine: %s not in ring %v", self, roster)
+	}
+	return rs, nil
+}
+
+func (rs *ringState) n() int { return len(rs.roster) }
+
+func (rs *ringState) inRoster(id string) bool {
+	_, ok := rs.pos[id]
+	return ok
+}
+
+// round1Complete reports whether a current z and t is on file for every
+// ring member.
+func (rs *ringState) round1Complete() bool {
+	for _, id := range rs.roster {
+		if rs.z[id] == nil || rs.t[id] == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// recordRound2 parses and records one peer's round-2 broadcast
+// U_i ‖ X_i ‖ s_i.
+func (rs *ringState) recordRound2(msg *netsim.Message) error {
+	r := wire.NewReader(msg.Payload)
+	id := r.String()
+	x := r.Big()
+	s := r.Big()
+	if err := r.Close(); err != nil {
+		return Retryable(fmt.Errorf("round2 from %s: %w", msg.From, err))
+	}
+	if id != msg.From || !rs.inRoster(id) {
+		return Retryable(fmt.Errorf("round2 bad sender %q/%q", id, msg.From))
+	}
+	rs.x[id] = x
+	rs.s[id] = s
+	return nil
+}
+
+// round2Payload computes the member's X value, the common challenge
+// c = H(T, Z) and the GQ response s_i, returning the encoded broadcast
+// m'_i = U_i ‖ X_i ‖ s_i.
+func (rs *ringState) round2Payload(mc *Machine) ([]byte, error) {
+	sg := mc.cfg.Set.Schnorr
+	n := rs.n()
+	zNext := rs.z[rs.roster[(rs.self+1)%n]]
+	zPrev := rs.z[rs.roster[(rs.self-1+n)%n]]
+	x, err := bdkey.XValue(zNext, zPrev, rs.r, sg.P)
+	if err != nil {
+		return nil, err
+	}
+	mc.m.Exp(1)
+
+	// Z = Π z_i mod p, T = Π t_i mod n, c = H(T, Z).
+	zs := make([]*big.Int, 0, n)
+	ts := make([]*big.Int, 0, n)
+	for _, id := range rs.roster {
+		zs = append(zs, rs.z[id])
+		ts = append(ts, rs.t[id])
+	}
+	rs.bigZ = mathx.ProductMod(zs, sg.P)
+	bigT := mathx.ProductMod(ts, mc.cfg.Set.RSA.N)
+	rs.c = gq.GroupChallenge(bigT, rs.bigZ)
+	s := mc.sk.Respond(rs.tau, rs.c)
+	mc.m.SignGen(meter.SchemeGQ, 1)
+
+	rs.x[mc.id] = x
+	rs.s[mc.id] = s
+	return wire.NewBuffer().PutString(mc.id).PutBig(x).PutBig(s).Bytes(), nil
+}
+
+// finish performs the Authentication and Key Computation phase: one batch
+// verification of all GQ responses (equation 2), the Lemma-1 product check
+// on the X values, and the BD key computation (equation 3), returning the
+// committed group view.
+func (rs *ringState) finish(mc *Machine) (*Group, error) {
+	sg := mc.cfg.Set.Schnorr
+	n := rs.n()
+
+	// Equation (2): c == H((Πs_i)^e · (ΠH(U_i))^{-c}, Z).
+	responses := make([]*big.Int, 0, n)
+	for _, id := range rs.roster {
+		responses = append(responses, rs.s[id])
+	}
+	if err := gq.BatchVerify(gq.ParamsFrom(mc.cfg.Set.RSA), rs.roster, responses, rs.c, rs.bigZ); err != nil {
+		mc.m.SignVer(meter.SchemeGQ, 1)
+		return nil, Retryable(err)
+	}
+	mc.m.SignVer(meter.SchemeGQ, 1)
+
+	// Lemma 1: Π X_i ≡ 1 (mod p).
+	xsOrdered := make([]*big.Int, n)
+	for i, id := range rs.roster {
+		xsOrdered[i] = rs.x[id]
+	}
+	if err := bdkey.CheckLemma1(xsOrdered, sg.P); err != nil {
+		return nil, Retryable(err)
+	}
+
+	// Equation (3): the shared key.
+	zPrev := rs.z[rs.roster[(rs.self-1+n)%n]]
+	key, err := bdkey.Key(rs.self, rs.r, zPrev, xsOrdered, sg.P)
+	if err != nil {
+		return nil, err
+	}
+	mc.m.Exp(1)
+
+	g := NewGroup(rs.roster)
+	g.R = rs.r
+	g.Tau = rs.tau
+	for id, z := range rs.z {
+		g.Z[id] = z
+	}
+	for id, t := range rs.t {
+		g.T[id] = t
+	}
+	g.Key = key
+	return g, nil
+}

@@ -1,0 +1,224 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"idgka/internal/meter"
+)
+
+// Handler consumes one delivered message on behalf of a node. Handlers
+// may send further messages through the Async medium they are registered
+// on (re-entrant sends are queued, not delivered inline).
+type Handler func(msg Message) error
+
+// Async is the asynchronous delivery mode of the simulator: sends enqueue
+// into per-node pending queues instead of landing in inboxes, and a
+// scheduler (Run) drains the queues by picking pending messages uniformly
+// at random under a fixed seed — deterministic, but adversarially
+// reordered across senders, receivers and rounds. It exercises exactly
+// the delivery freedom the event-driven engine must tolerate: round-2
+// traffic before round-1, interleaved concurrent sessions, late
+// stragglers.
+//
+// Async implements Medium, so engine outbounds route through the same
+// Broadcast/Send calls as the synchronous Network, with identical
+// per-node meter accounting (Tx charged at send, Rx at delivery).
+type Async struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	nodes map[string]*anode
+	order []string // registration order, for deterministic iteration
+
+	pending    int
+	totalMsgs  int
+	totalBytes int64
+	running    bool
+}
+
+type anode struct {
+	id      string
+	m       *meter.Meter
+	handler Handler
+	queue   []pendingMsg
+}
+
+type pendingMsg struct {
+	msg      Message
+	stateLen int
+}
+
+var _ Medium = (*Async)(nil)
+
+// NewAsync creates an empty asynchronous medium whose delivery schedule is
+// fully determined by the seed.
+func NewAsync(seed int64) *Async {
+	return &Async{rng: rand.New(rand.NewSource(seed)), nodes: map[string]*anode{}}
+}
+
+// Register attaches a node and its message handler. The meter may be nil.
+func (a *Async) Register(id string, m *meter.Meter, h Handler) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, dup := a.nodes[id]; dup {
+		return fmt.Errorf("netsim: duplicate node %q", id)
+	}
+	a.nodes[id] = &anode{id: id, m: m, handler: h}
+	a.order = append(a.order, id)
+	return nil
+}
+
+// Unregister removes a node; its undelivered messages are discarded.
+func (a *Async) Unregister(id string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if nd, ok := a.nodes[id]; ok {
+		a.pending -= len(nd.queue)
+	}
+	delete(a.nodes, id)
+	for i, v := range a.order {
+		if v == id {
+			a.order = append(a.order[:i], a.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// enqueue queues one message for one recipient.
+func (a *Async) enqueue(nd *anode, msg Message, stateLen int) {
+	nd.queue = append(nd.queue, pendingMsg{msg: msg, stateLen: stateLen})
+	a.pending++
+}
+
+// Broadcast implements Medium.
+func (a *Async) Broadcast(from, typ string, payload []byte) error {
+	return a.BroadcastState(from, typ, payload, 0)
+}
+
+// BroadcastState implements Medium.
+func (a *Async) BroadcastState(from, typ string, payload []byte, stateLen int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	sender, ok := a.nodes[from]
+	if !ok {
+		return fmt.Errorf("netsim: unknown sender %q", from)
+	}
+	msg := Message{From: from, Type: typ, Payload: payload}
+	sender.m.Tx(len(payload))
+	sender.m.TxState(stateLen)
+	a.totalMsgs++
+	a.totalBytes += int64(len(payload))
+	for _, id := range a.order {
+		if id == from {
+			continue
+		}
+		a.enqueue(a.nodes[id], msg, stateLen)
+	}
+	return nil
+}
+
+// Send implements Medium.
+func (a *Async) Send(from, to, typ string, payload []byte) error {
+	return a.SendState(from, to, typ, payload, 0)
+}
+
+// SendState implements Medium.
+func (a *Async) SendState(from, to, typ string, payload []byte, stateLen int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	sender, ok := a.nodes[from]
+	if !ok {
+		return fmt.Errorf("netsim: unknown sender %q", from)
+	}
+	rcpt, ok := a.nodes[to]
+	if !ok {
+		return fmt.Errorf("netsim: unknown recipient %q", to)
+	}
+	sender.m.Tx(len(payload))
+	sender.m.TxState(stateLen)
+	a.totalMsgs++
+	a.totalBytes += int64(len(payload))
+	a.enqueue(rcpt, Message{From: from, To: to, Type: typ, Payload: payload}, stateLen)
+	return nil
+}
+
+// Recv and RecvType are not meaningful in handler-driven async mode; they
+// exist to satisfy Medium and always report empty inboxes.
+func (a *Async) Recv(id string) ([]Message, error)          { return nil, nil }
+func (a *Async) RecvType(id, typ string) ([]Message, error) { return nil, nil }
+
+// Pending reports the number of undelivered messages.
+func (a *Async) Pending() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.pending
+}
+
+// Totals reports medium-wide message and byte counts.
+func (a *Async) Totals() (msgs int, bytes int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.totalMsgs, a.totalBytes
+}
+
+// Run drains the network: while messages are pending it picks one
+// uniformly at random (under the construction seed), delivers it to its
+// recipient's handler, and repeats — handlers typically send more
+// messages, which join the lottery. Run returns when the network is
+// quiescent, when maxSteps deliveries have happened (0 = no bound), or on
+// the first handler error.
+func (a *Async) Run(maxSteps int) (delivered int, err error) {
+	a.mu.Lock()
+	if a.running {
+		a.mu.Unlock()
+		return 0, errors.New("netsim: Async.Run re-entered")
+	}
+	a.running = true
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		a.running = false
+		a.mu.Unlock()
+	}()
+
+	for {
+		a.mu.Lock()
+		if a.pending == 0 || (maxSteps > 0 && delivered >= maxSteps) {
+			a.mu.Unlock()
+			return delivered, nil
+		}
+		// Pick the k-th pending message across the per-node queues in
+		// registration order (deterministic under the seed).
+		k := a.rng.Intn(a.pending)
+		var nd *anode
+		var pick pendingMsg
+		for _, id := range a.order {
+			q := a.nodes[id].queue
+			if k < len(q) {
+				nd = a.nodes[id]
+				pick = q[k]
+				nd.queue = append(q[:k:k], q[k+1:]...)
+				a.pending--
+				break
+			}
+			k -= len(q)
+		}
+		if nd == nil { // unreachable unless bookkeeping drifted
+			a.mu.Unlock()
+			return delivered, errors.New("netsim: async scheduler lost a message")
+		}
+		nd.m.Rx(len(pick.msg.Payload))
+		nd.m.RxState(pick.stateLen)
+		handler := nd.handler
+		a.mu.Unlock()
+
+		delivered++
+		if handler != nil {
+			if err := handler(pick.msg); err != nil {
+				return delivered, fmt.Errorf("netsim: handler of %q: %w", nd.id, err)
+			}
+		}
+	}
+}

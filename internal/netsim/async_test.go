@@ -1,0 +1,128 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+
+	"idgka/internal/meter"
+)
+
+// TestAsyncDeterministicShuffle: the same seed yields the same delivery
+// order; different seeds reorder.
+func TestAsyncDeterministicShuffle(t *testing.T) {
+	run := func(seed int64) []string {
+		a := NewAsync(seed)
+		var order []string
+		for _, id := range []string{"a", "b", "c"} {
+			id := id
+			if err := a.Register(id, nil, func(msg Message) error {
+				order = append(order, id+"<-"+msg.Type)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 5; i++ {
+			if err := a.Broadcast("a", fmt.Sprintf("t%d", i), []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n, err := a.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 10 { // 5 broadcasts x 2 recipients
+			t.Fatalf("delivered %d, want 10", n)
+		}
+		return order
+	}
+	one := run(7)
+	two := run(7)
+	other := run(8)
+	if fmt.Sprint(one) != fmt.Sprint(two) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if fmt.Sprint(one) == fmt.Sprint(other) {
+		t.Log("seeds 7 and 8 coincided (possible but suspicious)")
+	}
+	inOrder := true
+	for i, ev := range one {
+		want := fmt.Sprintf("t%d", i/2)
+		if ev[3:] != want {
+			inOrder = false
+		}
+	}
+	if inOrder {
+		t.Fatal("seeded scheduler delivered strictly in send order; no reordering happened")
+	}
+}
+
+// TestAsyncHandlerSends: handlers may send during delivery; the scheduler
+// keeps draining until quiescent.
+func TestAsyncHandlerSends(t *testing.T) {
+	a := NewAsync(1)
+	got := map[string]int{}
+	if err := a.Register("ping", meter.New(), func(msg Message) error {
+		got["ping"]++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Register("pong", meter.New(), func(msg Message) error {
+		got["pong"]++
+		if got["pong"] < 3 {
+			return a.Send("pong", "ping", "reply", []byte("x"))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := a.Send("ping", "pong", "serve", []byte("y")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if a.Pending() != 0 {
+		t.Fatalf("%d messages undelivered", a.Pending())
+	}
+	if got["pong"] != 3 || got["ping"] != 2 {
+		t.Fatalf("deliveries: %v", got)
+	}
+}
+
+// TestAsyncMeterAccounting mirrors the synchronous network's contract:
+// Tx charged at send, Rx at delivery.
+func TestAsyncMeterAccounting(t *testing.T) {
+	a := NewAsync(3)
+	ma, mb := meter.New(), meter.New()
+	if err := a.Register("a", ma, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Register("b", mb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.BroadcastState("a", "t", make([]byte, 70), 30); err != nil {
+		t.Fatal(err)
+	}
+	ra := ma.Report()
+	if ra.BytesTx != 40 || ra.StateTx != 30 {
+		t.Fatalf("sender accounting: %+v", ra)
+	}
+	if rb := mb.Report(); rb.MsgRx != 0 {
+		t.Fatal("Rx charged before delivery")
+	}
+	if _, err := a.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	rb := mb.Report()
+	if rb.BytesRx != 40 || rb.StateRx != 30 || rb.MsgRx != 1 {
+		t.Fatalf("receiver accounting: %+v", rb)
+	}
+	msgs, bytes := a.Totals()
+	if msgs != 1 || bytes != 70 {
+		t.Fatalf("totals %d/%d", msgs, bytes)
+	}
+}

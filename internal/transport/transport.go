@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 
 	"idgka/internal/meter"
@@ -267,11 +268,12 @@ type node struct {
 	conn net.Conn
 	m    *meter.Meter
 
-	mu    sync.Mutex
-	inbox []netsim.Message
-	done  map[uint64]chan struct{}
-	err   error
-	wmu   sync.Mutex // serialises frame writes
+	mu     sync.Mutex
+	arrive *sync.Cond // signalled on inbox growth and on read errors
+	inbox  []netsim.Message
+	done   map[uint64]chan struct{}
+	err    error
+	wmu    sync.Mutex // serialises frame writes
 }
 
 // Router bundles local nodes behind the netsim.Medium interface: each
@@ -300,6 +302,7 @@ func (r *Router) Attach(id string, m *meter.Meter) error {
 		return fmt.Errorf("transport: dial: %w", err)
 	}
 	n := &node{id: id, conn: conn, m: m, done: map[uint64]chan struct{}{}}
+	n.arrive = sync.NewCond(&n.mu)
 	if err := writeFrame(conn, &frame{Kind: kindHello, From: id}); err != nil {
 		_ = conn.Close()
 		return err
@@ -356,6 +359,7 @@ func (n *node) readLoop() {
 				close(ch)
 			}
 			n.done = map[uint64]chan struct{}{}
+			n.arrive.Broadcast()
 			n.mu.Unlock()
 			return
 		}
@@ -365,6 +369,7 @@ func (n *node) readLoop() {
 			n.inbox = append(n.inbox, netsim.Message{
 				From: f.From, To: f.To, Type: f.Type, Payload: f.Payload,
 			})
+			n.arrive.Broadcast()
 			n.mu.Unlock()
 			n.m.Rx(len(f.Payload))
 			n.m.RxState(int(f.StateLen))
@@ -463,6 +468,29 @@ func (r *Router) Recv(id string) ([]netsim.Message, error) {
 	return out, nil
 }
 
+// RecvWait blocks until the node's inbox is non-empty (or its connection
+// fails), then drains it like Recv. It is the receive primitive for
+// event-driven nodes that are woken only by their own inbox rather than
+// pumped by a lockstep orchestrator.
+func (r *Router) RecvWait(id string) ([]netsim.Message, error) {
+	n, err := r.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for len(n.inbox) == 0 {
+		if n.err != nil {
+			return nil, n.err
+		}
+		n.arrive.Wait()
+	}
+	out := n.inbox
+	n.inbox = nil
+	sortMessages(out)
+	return out, nil
+}
+
 // RecvType implements netsim.Medium: drain messages of one type.
 func (r *Router) RecvType(id, typ string) ([]netsim.Message, error) {
 	n, err := r.lookup(id)
@@ -487,15 +515,12 @@ func (r *Router) RecvType(id, typ string) ([]netsim.Message, error) {
 // sortMessages orders deterministically by (Type, From), matching the
 // simulator.
 func sortMessages(msgs []netsim.Message) {
-	for i := 1; i < len(msgs); i++ {
-		for j := i; j > 0; j-- {
-			a, b := msgs[j-1], msgs[j]
-			if a.Type < b.Type || (a.Type == b.Type && a.From <= b.From) {
-				break
-			}
-			msgs[j-1], msgs[j] = b, a
+	sort.SliceStable(msgs, func(i, j int) bool {
+		if msgs[i].Type != msgs[j].Type {
+			return msgs[i].Type < msgs[j].Type
 		}
-	}
+		return msgs[i].From < msgs[j].From
+	})
 }
 
 var _ netsim.Medium = (*Router)(nil)

@@ -1,0 +1,177 @@
+package idgka
+
+import (
+	"errors"
+	"fmt"
+
+	"idgka/internal/engine"
+	"idgka/internal/netsim"
+)
+
+// Packet is one protocol message as routed by an event-driven deployment.
+// An empty To means broadcast to every group member. StateLen marks the
+// trailing payload bytes that carry session-state transfer (metered
+// separately from protocol traffic by the built-in media).
+type Packet struct {
+	From     string
+	To       string
+	Type     string
+	Payload  []byte
+	StateLen int
+}
+
+// Session is a member's event-driven handle on one protocol run,
+// identified by a caller-chosen session id. Unlike the lockstep helpers
+// (Establish, Join, ...), a Session never touches a shared network object:
+// the application routes messages itself — feed inbound packets to
+// HandleMessage, transmit whatever Outbox returns, and watch Done. One
+// member can run any number of concurrent sessions; out-of-order and
+// duplicated deliveries are tolerated, and an inbound packet may be fed
+// through ANY of the member's session handles — the wire envelope names
+// the session, so completions are routed to the owning handle even when
+// another handle stepped the machine. A member's sessions must be driven
+// from a single goroutine.
+//
+//	sess, _ := alice.NewSession("room-7", roster)
+//	for !sess.Done() {
+//	    for _, p := range sess.Outbox() {
+//	        transportSend(p)   // application-owned routing
+//	    }
+//	    if err := sess.HandleMessage(transportRecv()); err != nil {
+//	        return err         // protocol failure; Done() is now true
+//	    }
+//	}
+//	for _, p := range sess.Outbox() {
+//	    transportSend(p)       // the final reaction can commit AND emit
+//	}
+//	key := sess.Key()
+type Session struct {
+	mb     *Member
+	sid    string
+	outbox []Packet
+	done   bool
+	err    error
+	// Terminal results, cached when the flow commits so the machine-side
+	// per-session state can be released.
+	key    []byte
+	roster []string
+}
+
+// NewSession starts the two-round authenticated establishment of the
+// paper's Section 4 as an event-driven session. roster is the ring order
+// (roster[0] is the trusted controller) and must contain this member; sid
+// names the session on the wire and must be shared by all participants.
+func (mb *Member) NewSession(sid string, roster []string) (*Session, error) {
+	if sid == "" {
+		return nil, errors.New("idgka: session id must be non-empty")
+	}
+	s := &Session{mb: mb, sid: sid}
+	if mb.sessions == nil {
+		mb.sessions = map[string]*Session{}
+	}
+	mb.sessions[sid] = s
+	outs, evts, err := mb.inner.Machine().StartInitial(sid, roster)
+	if err != nil {
+		delete(mb.sessions, sid)
+		return nil, err
+	}
+	s.ingest(outs, evts)
+	return s, nil
+}
+
+// ingest folds machine reactions into session state. Outbound packets go
+// to this handle's outbox (any handle may transmit them — the payloads
+// carry their own session envelope); lifecycle events are routed to the
+// handle owning their session id.
+func (s *Session) ingest(outs []engine.Outbound, evts []engine.Event) {
+	for _, o := range outs {
+		s.outbox = append(s.outbox, Packet{
+			From: s.mb.ID(), To: o.To, Type: o.Type, Payload: o.Payload, StateLen: o.StateLen,
+		})
+	}
+	for _, ev := range evts {
+		target := s
+		if ev.SID != s.sid {
+			if target = s.mb.sessions[ev.SID]; target == nil {
+				continue // a flow this member runs outside the Session API
+			}
+		}
+		switch ev.Kind {
+		case engine.EventEstablished, engine.EventConfirmed:
+			target.done = true
+			if ev.Group != nil {
+				target.key = ev.Group.Key.Bytes()
+				target.roster = append([]string(nil), ev.Group.Roster...)
+			}
+			// Terminal: cache the results above, then release both the
+			// handle registry entry and the machine-side session state so
+			// long-lived members do not accumulate per-session groups.
+			// (The engine fires at most one terminal event per flow.)
+			delete(s.mb.sessions, target.sid)
+			s.mb.inner.Machine().Release(target.sid)
+		case engine.EventFailed:
+			// A failed flow is terminal too: Done must release the
+			// application's routing loop, with Err/Key telling success
+			// from failure.
+			target.done = true
+			delete(s.mb.sessions, target.sid)
+			s.mb.inner.Machine().Release(target.sid)
+			if target.err == nil {
+				target.err = ev.Err
+				if target.err == nil {
+					target.err = fmt.Errorf("idgka: session %q failed", target.sid)
+				}
+			}
+		}
+	}
+}
+
+// HandleMessage feeds one delivered packet into the member's protocol
+// machine. Reactions appear in Outbox; completion in Done. Messages of
+// other concurrent sessions are routed internally and never an error.
+func (s *Session) HandleMessage(p Packet) error {
+	outs, evts := s.mb.inner.Machine().Step(netsim.Message{
+		From: p.From, To: p.To, Type: p.Type, Payload: p.Payload,
+	})
+	s.ingest(outs, evts)
+	return s.err
+}
+
+// Outbox drains and returns the messages the member wants transmitted.
+func (s *Session) Outbox() []Packet {
+	out := s.outbox
+	s.outbox = nil
+	return out
+}
+
+// Done reports whether the session has reached a terminal state —
+// either committed (Key non-nil) or failed (Err non-nil).
+func (s *Session) Done() bool { return s.done }
+
+// Err returns the session's failure, if any.
+func (s *Session) Err() error { return s.err }
+
+// Key returns the established session key material, or nil before Done
+// (and nil after a failure).
+func (s *Session) Key() []byte { return s.key }
+
+// Roster returns the committed ring of this session, or nil before Done.
+func (s *Session) Roster() []string {
+	return append([]string(nil), s.roster...)
+}
+
+// Close abandons a session that can no longer make progress (e.g. a peer
+// died mid-establishment and the application timed out): the in-flight
+// flow, its buffered traffic and the registry entry are discarded. Closing
+// a completed session is a no-op beyond state release.
+func (s *Session) Close() {
+	if !s.done {
+		s.done = true
+		if s.err == nil {
+			s.err = fmt.Errorf("idgka: session %q closed", s.sid)
+		}
+	}
+	delete(s.mb.sessions, s.sid)
+	s.mb.inner.Machine().Abort(s.sid)
+	s.mb.inner.Machine().Release(s.sid)
+}

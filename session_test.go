@@ -1,0 +1,184 @@
+package idgka
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// routePackets delivers queued packets FIFO among the sessions until
+// quiescence, fanning broadcasts to every other member.
+func routePackets(t *testing.T, sessions map[string]*Session) {
+	t.Helper()
+	type delivery struct {
+		to  string
+		pkt Packet
+	}
+	var queue []delivery
+	drain := func(id string, s *Session) {
+		for _, p := range s.Outbox() {
+			if p.To != "" {
+				queue = append(queue, delivery{to: p.To, pkt: p})
+				continue
+			}
+			for other := range sessions {
+				if other != id {
+					queue = append(queue, delivery{to: other, pkt: p})
+				}
+			}
+		}
+	}
+	for id, s := range sessions {
+		drain(id, s)
+	}
+	for len(queue) > 0 {
+		d := queue[0]
+		queue = queue[1:]
+		s := sessions[d.to]
+		if err := s.HandleMessage(d.pkt); err != nil {
+			t.Fatalf("session of %s failed: %v", d.to, err)
+		}
+		drain(d.to, s)
+	}
+}
+
+// TestSessionEstablishment drives the event-driven public API with
+// application-owned routing: no Network object, no lockstep driver.
+func TestSessionEstablishment(t *testing.T) {
+	auth, err := NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	roster := make([]string, n)
+	members := make([]*Member, n)
+	for i := 0; i < n; i++ {
+		roster[i] = fmt.Sprintf("ev-%02d", i+1)
+		members[i], err = auth.NewMember(roster[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	sessions := map[string]*Session{}
+	for i, mb := range members {
+		s, err := mb.NewSession("room-7", roster)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[roster[i]] = s
+	}
+	routePackets(t, sessions)
+
+	key := sessions[roster[0]].Key()
+	if key == nil {
+		t.Fatal("no key established")
+	}
+	for _, id := range roster {
+		s := sessions[id]
+		if !s.Done() {
+			t.Fatalf("%s not done", id)
+		}
+		if s.Err() != nil {
+			t.Fatalf("%s: %v", id, s.Err())
+		}
+		if !bytes.Equal(s.Key(), key) {
+			t.Fatalf("%s disagrees on the session key", id)
+		}
+		if got := s.Roster(); len(got) != n || got[0] != roster[0] {
+			t.Fatalf("%s: roster %v", id, got)
+		}
+	}
+	// The members' primary group view reflects the established session.
+	for _, mb := range members {
+		if !bytes.Equal(mb.GroupKey(), key) {
+			t.Fatalf("%s: GroupKey does not match the session", mb.ID())
+		}
+	}
+}
+
+// TestSessionValidation covers constructor error paths.
+func TestSessionValidation(t *testing.T) {
+	auth, err := NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := auth.NewMember("solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mb.NewSession("", []string{"solo", "x"}); err == nil {
+		t.Fatal("empty session id accepted")
+	}
+	if _, err := mb.NewSession("s", []string{"solo"}); err == nil {
+		t.Fatal("singleton roster accepted")
+	}
+	if _, err := mb.NewSession("s", []string{"a", "b"}); err == nil {
+		t.Fatal("roster without the member accepted")
+	}
+}
+
+// TestSessionCrossRouting: with two concurrent sessions per member, a
+// packet of session B fed through session A's handle must still complete
+// session B's handle — the wire envelope, not the handle, names the flow.
+func TestSessionCrossRouting(t *testing.T) {
+	auth, err := NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	roster := []string{"x-01", "x-02", "x-03"}
+	members := map[string]*Member{}
+	for _, id := range roster {
+		if members[id], err = auth.NewMember(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sessA := map[string]*Session{}
+	sessB := map[string]*Session{}
+	for _, id := range roster {
+		if sessA[id], err = members[id].NewSession("sess-a", roster); err != nil {
+			t.Fatal(err)
+		}
+		if sessB[id], err = members[id].NewSession("sess-b", roster); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Route EVERYTHING through the sess-a handles only.
+	type delivery struct {
+		to  string
+		pkt Packet
+	}
+	var queue []delivery
+	drain := func(id string) {
+		for _, s := range []*Session{sessA[id], sessB[id]} {
+			for _, p := range s.Outbox() {
+				for _, other := range roster {
+					if other != id {
+						queue = append(queue, delivery{to: other, pkt: p})
+					}
+				}
+			}
+		}
+	}
+	for _, id := range roster {
+		drain(id)
+	}
+	for len(queue) > 0 {
+		d := queue[0]
+		queue = queue[1:]
+		if err := sessA[d.to].HandleMessage(d.pkt); err != nil {
+			t.Fatalf("%s: %v", d.to, err)
+		}
+		drain(d.to)
+	}
+	for _, id := range roster {
+		if !sessA[id].Done() || !sessB[id].Done() {
+			t.Fatalf("%s: done a=%v b=%v", id, sessA[id].Done(), sessB[id].Done())
+		}
+		if sessB[id].Key() == nil {
+			t.Fatalf("%s: session B has no key despite routing via A", id)
+		}
+	}
+	if bytes.Equal(sessA[roster[0]].Key(), sessB[roster[0]].Key()) {
+		t.Fatal("concurrent sessions derived the same key")
+	}
+}
