@@ -7,12 +7,18 @@
 //   - event (default): every node runs as an independent event-driven
 //     worker with its own engine.Machine, driven ONLY by its own inbox —
 //     no global coordinator touches more than one member. This is the
-//     deployment shape of internal/engine.
+//     deployment shape of internal/engine. With -dynamic (on by default)
+//     the run continues past establishment: a fresh TCP node is admitted
+//     by the Join protocol and a member is evicted by Leave, each re-key
+//     explicitly confirmed, all still coordinator-free — every node
+//     derives the next flow's parameters from its own committed session
+//     state (the engine's per-session group registry).
 //
 //   - lockstep: the original driver (core.RunInitial) marches all members
 //     through the rounds from one goroutine, as the paper's tables do.
 //
-//     gkanet -n 5                 # hub + 5 event-driven nodes on loopback
+//     gkanet -n 5                 # hub + 5 nodes: establish, join, evict
+//     gkanet -dynamic=false -n 5  # establishment + confirmation only
 //     gkanet -mode lockstep -n 5  # the legacy lockstep orchestrator
 //     gkanet -listen :7777        # choose the hub port
 package main
@@ -40,6 +46,7 @@ func main() {
 	n := flag.Int("n", 5, "group size")
 	listen := flag.String("listen", "127.0.0.1:0", "hub listen address")
 	mode := flag.String("mode", "event", "execution mode: event (per-node state machines) or lockstep (driver)")
+	dynamic := flag.Bool("dynamic", true, "event mode: admit one joiner and evict one member after establishment")
 	flag.Parse()
 	if *n < 2 {
 		log.Fatal("-n must be >= 2")
@@ -60,16 +67,20 @@ func main() {
 
 	set := params.Default()
 	cfg := engine.Config{Set: set.Public()}
-	roster := make([]string, *n)
-	meters := make([]*meter.Meter, *n)
-	keys := make([]*gq.PrivateKey, *n)
-	for i := 0; i < *n; i++ {
+	total := *n
+	if *mode == "event" && *dynamic {
+		total = *n + 1 // the node admitted by the Join demo
+	}
+	ids := make([]string, total)
+	meters := make([]*meter.Meter, total)
+	keys := make([]*gq.PrivateKey, total)
+	for i := 0; i < total; i++ {
 		id := fmt.Sprintf("node-%02d", i+1)
 		sk, err := gq.Extract(set.RSA, id)
 		if err != nil {
 			log.Fatalf("extract: %v", err)
 		}
-		roster[i] = id
+		ids[i] = id
 		keys[i] = sk
 		meters[i] = meter.New()
 		if err := router.Attach(id, meters[i]); err != nil {
@@ -77,10 +88,12 @@ func main() {
 		}
 		fmt.Printf("node %s connected over TCP\n", id)
 	}
+	roster := ids[:*n]
 
 	var fingerprint [32]byte
 	start := time.Now()
-	if *mode == "lockstep" {
+	switch {
+	case *mode == "lockstep":
 		members := make([]*core.Member, *n)
 		for i := range roster {
 			mb, err := core.NewMember(cfg, keys[i], meters[i])
@@ -96,16 +109,25 @@ func main() {
 			log.Fatalf("confirmation: %v", err)
 		}
 		fingerprint = sha256.Sum256(members[0].Key().Bytes())
-	} else {
+	case *dynamic:
+		joiner := ids[total-1]
+		evictee := roster[1]
+		fps, err := runEventLifecycle(router, cfg, roster, keys, meters, joiner, evictee)
+		if err != nil {
+			log.Fatalf("GKA: %v", err)
+		}
+		if fingerprint, err = checkAgreement(ids, fps, evictee); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\njoin:  %s admitted over TCP, key rotated and confirmed\n", joiner)
+		fmt.Printf("leave: %s evicted, survivors re-keyed and confirmed\n", evictee)
+	default:
 		fps, err := runEventDriven(router, cfg, roster, keys, meters)
 		if err != nil {
 			log.Fatalf("GKA: %v", err)
 		}
-		fingerprint = fps[0]
-		for i, fp := range fps {
-			if fp != fingerprint {
-				log.Fatalf("node %s confirmed a different key", roster[i])
-			}
+		if fingerprint, err = checkAgreement(roster, fps, ""); err != nil {
+			log.Fatal(err)
 		}
 	}
 	elapsed := time.Since(start)
@@ -115,37 +137,117 @@ func main() {
 	fmt.Printf("key fingerprint: %x\n", fingerprint[:8])
 
 	model := energy.DefaultModel()
-	for i, id := range roster {
+	for i, id := range ids {
 		r := meters[i].Report()
 		fmt.Printf("  %-8s tx=%dB rx=%dB -> %.2f mJ (modelled)\n",
 			id, r.BytesTx, r.BytesRx, model.EnergyJ(r)*1000)
 	}
 }
 
-// runEventDriven spawns one worker goroutine per node. Each worker owns
-// its member's protocol machine and is driven exclusively by its own
-// inbox: it starts the establishment flow, reacts to whatever the hub
-// delivers, then runs key confirmation the same way. No coordinator ever
-// sees more than one member's state.
-//
-// Failures — including protocol-retryable ones — are fatal here: the
-// paper's "all members retransmit" loop needs every member to agree on
-// restarting an attempt, and without a coordinator that agreement is a
-// protocol extension of its own (the engine's attempt numbering is the
-// hook for it). Lockstep mode retains the retry loop; over a reliable
-// TCP hub the event path has no transient failures to retry.
-func runEventDriven(router *transport.Router, cfg engine.Config, roster []string,
-	keys []*gq.PrivateKey, meters []*meter.Meter) ([][32]byte, error) {
+// checkAgreement verifies every participating node (skip excluded, which
+// left before the final re-key) confirmed the same key, returning it.
+func checkAgreement(ids []string, fps [][32]byte, skip string) ([32]byte, error) {
+	var ref [32]byte
+	have := false
+	for i, id := range ids {
+		if id == skip {
+			continue
+		}
+		if !have {
+			ref, have = fps[i], true
+			continue
+		}
+		if fps[i] != ref {
+			return ref, fmt.Errorf("node %s confirmed a different key", id)
+		}
+	}
+	return ref, nil
+}
 
-	const sidEstablish = "gkanet/establish"
-	const sidConfirm = "gkanet/confirm"
+// worker owns one node's protocol machine and drives it exclusively from
+// its own TCP inbox — the per-node half of an event-driven deployment.
+type worker struct {
+	id     string
+	mach   *engine.Machine
+	router *transport.Router
+}
 
-	fps := make([][32]byte, len(roster))
-	errs := make([]error, len(roster))
+func (w *worker) send(outs []engine.Outbound) error {
+	return engine.SendAll(w.router, w.id, outs)
+}
 
-	// First failure wins and tears the transport down, so peers blocked
-	// in RecvWait wake with an error instead of hanging forever on
-	// messages the dead node will never send.
+// runFlow starts one flow and pumps inbox deliveries until an event
+// satisfies done. Every drained message is stepped (the machine buffers
+// traffic of flows not started yet), so nothing a faster peer sent early
+// is lost. Failures — including protocol-retryable ones — are fatal
+// here: the paper's "all members retransmit" loop needs every member to
+// agree on restarting an attempt, and without a coordinator that
+// agreement is a protocol extension of its own (the engine's attempt
+// numbering is the hook for it); over a reliable TCP hub there are no
+// transient failures to retry.
+func (w *worker) runFlow(start func() ([]engine.Outbound, []engine.Event, error),
+	done func(ev engine.Event) bool) error {
+
+	outs, evts, err := start()
+	if err != nil {
+		return err
+	}
+	if err := w.send(outs); err != nil {
+		return err
+	}
+	met := false
+	for _, ev := range evts {
+		if ev.Kind == engine.EventFailed {
+			return fmt.Errorf("%s: flow failed at start: %w", w.id, ev.Err)
+		}
+		if done(ev) {
+			met = true
+		}
+	}
+	for !met {
+		msgs, err := w.router.RecvWait(w.id)
+		if err != nil {
+			return err
+		}
+		for _, msg := range msgs {
+			outs, evts := w.mach.Step(msg)
+			if err := w.send(outs); err != nil {
+				return err
+			}
+			for _, ev := range evts {
+				if ev.Kind == engine.EventFailed {
+					return fmt.Errorf("%s: flow failed: %w", w.id, ev.Err)
+				}
+				if done(ev) {
+					met = true
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// established matches the commit of one session id.
+func established(sid string) func(engine.Event) bool {
+	return func(ev engine.Event) bool {
+		return ev.Kind == engine.EventEstablished && ev.SID == sid
+	}
+}
+
+// confirmed matches the completion of one confirmation session.
+func confirmed(sid string) func(engine.Event) bool {
+	return func(ev engine.Event) bool {
+		return ev.Kind == engine.EventConfirmed && ev.SID == sid
+	}
+}
+
+// forEachNode runs one goroutine per node; the first failure tears the
+// transport down so peers blocked in RecvWait wake with an error instead
+// of hanging forever on messages a dead node will never send.
+func forEachNode(router *transport.Router, cfg engine.Config, ids []string,
+	keys []*gq.PrivateKey, meters []*meter.Meter,
+	run func(i int, w *worker) error) error {
+
 	var failOnce sync.Once
 	var rootErr error
 	fail := func(err error) {
@@ -154,103 +256,134 @@ func runEventDriven(router *transport.Router, cfg engine.Config, roster []string
 			router.Close()
 		})
 	}
-
 	var wg sync.WaitGroup
-	for i, id := range roster {
+	for i, id := range ids {
 		wg.Add(1)
 		go func(i int, id string) {
 			defer wg.Done()
-			errs[i] = func() error {
-				mach, err := engine.NewMachine(cfg, keys[i], meters[i])
-				if err != nil {
-					return err
-				}
-				send := func(outs []engine.Outbound) error {
-					return engine.SendAll(router, id, outs)
-				}
-				// pump drives the machine on inbox deliveries until the
-				// predicate is met; every drained message is stepped (the
-				// machine buffers traffic of flows not started yet), so
-				// nothing a faster peer sent early is lost.
-				pump := func(until func(ev engine.Event) bool) error {
-					for {
-						msgs, err := router.RecvWait(id)
-						if err != nil {
-							return err
-						}
-						met := false
-						for _, msg := range msgs {
-							outs, evts := mach.Step(msg)
-							if err := send(outs); err != nil {
-								return err
-							}
-							for _, ev := range evts {
-								if ev.Kind == engine.EventFailed {
-									return fmt.Errorf("%s: flow failed: %w", id, ev.Err)
-								}
-								if until(ev) {
-									met = true
-								}
-							}
-						}
-						if met {
-							return nil
-						}
-					}
-				}
-
-				outs, evts0, err := mach.StartInitial(sidEstablish, roster)
-				if err != nil {
-					return err
-				}
-				for _, ev := range evts0 {
-					if ev.Kind == engine.EventFailed {
-						return fmt.Errorf("%s: start failed: %w", id, ev.Err)
-					}
-				}
-				if err := send(outs); err != nil {
-					return err
-				}
-				if err := pump(func(ev engine.Event) bool {
-					return ev.Kind == engine.EventEstablished && ev.SID == sidEstablish
-				}); err != nil {
-					return err
-				}
-
-				outs, evts, err := mach.StartConfirm(sidConfirm)
-				if err != nil {
-					return err
-				}
-				if err := send(outs); err != nil {
-					return err
-				}
-				confirmed := false
-				for _, ev := range evts {
-					if ev.Kind == engine.EventFailed {
-						return fmt.Errorf("%s: confirm start failed: %w", id, ev.Err)
-					}
-					if ev.Kind == engine.EventConfirmed {
-						confirmed = true
-					}
-				}
-				if !confirmed {
-					if err := pump(func(ev engine.Event) bool {
-						return ev.Kind == engine.EventConfirmed && ev.SID == sidConfirm
-					}); err != nil {
-						return err
-					}
-				}
-				fps[i] = sha256.Sum256(mach.Key().Bytes())
-				return nil
-			}()
-			if errs[i] != nil {
-				fail(fmt.Errorf("node %s: %w", id, errs[i]))
+			mach, err := engine.NewMachine(cfg, keys[i], meters[i])
+			if err != nil {
+				fail(fmt.Errorf("node %s: %w", id, err))
+				return
+			}
+			if err := run(i, &worker{id: id, mach: mach, router: router}); err != nil {
+				fail(fmt.Errorf("node %s: %w", id, err))
 			}
 		}(i, id)
 	}
 	wg.Wait()
-	if rootErr != nil {
-		return nil, rootErr
+	return rootErr
+}
+
+// runEventDriven establishes and confirms one group, every node driven
+// exclusively by its own inbox.
+func runEventDriven(router *transport.Router, cfg engine.Config, roster []string,
+	keys []*gq.PrivateKey, meters []*meter.Meter) ([][32]byte, error) {
+
+	const sidEstablish = "gkanet/establish"
+	const sidConfirm = "gkanet/confirm"
+
+	fps := make([][32]byte, len(roster))
+	err := forEachNode(router, cfg, roster, keys, meters, func(i int, w *worker) error {
+		if err := w.runFlow(func() ([]engine.Outbound, []engine.Event, error) {
+			return w.mach.StartInitial(sidEstablish, roster)
+		}, established(sidEstablish)); err != nil {
+			return err
+		}
+		if err := w.runFlow(func() ([]engine.Outbound, []engine.Event, error) {
+			return w.mach.StartConfirm(sidConfirm, sidEstablish)
+		}, confirmed(sidConfirm)); err != nil {
+			return err
+		}
+		fps[i] = sha256.Sum256(w.mach.Session(sidEstablish).Key.Bytes())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fps, nil
+}
+
+// runEventLifecycle runs the full dynamic-membership demo with no
+// coordinator: the founders establish and confirm; joiner is admitted by
+// the three-round Join and the grown group confirms; then evictee is
+// removed by Leave and the survivors confirm again. Each node starts
+// every flow from its OWN machine's committed state — the Leave
+// parameters (contracted ring, refresh set) are derived per node from
+// the session registry, identically everywhere, which is exactly what
+// the per-session base selection exists for.
+func runEventLifecycle(router *transport.Router, cfg engine.Config, roster []string,
+	keys []*gq.PrivateKey, meters []*meter.Meter, joiner, evictee string) ([][32]byte, error) {
+
+	const (
+		sidEstablish = "gkanet/establish"
+		sidConfirm1  = "gkanet/confirm-1"
+		sidJoin      = "gkanet/join"
+		sidConfirm2  = "gkanet/confirm-2"
+		sidLeave     = "gkanet/leave"
+		sidConfirm3  = "gkanet/confirm-3"
+	)
+
+	ids := append(append([]string(nil), roster...), joiner)
+	fps := make([][32]byte, len(ids))
+	err := forEachNode(router, cfg, ids, keys, meters, func(i int, w *worker) error {
+		founder := w.id != joiner
+		if founder {
+			if err := w.runFlow(func() ([]engine.Outbound, []engine.Event, error) {
+				return w.mach.StartInitial(sidEstablish, roster)
+			}, established(sidEstablish)); err != nil {
+				return err
+			}
+			if err := w.runFlow(func() ([]engine.Outbound, []engine.Event, error) {
+				return w.mach.StartConfirm(sidConfirm1, sidEstablish)
+			}, confirmed(sidConfirm1)); err != nil {
+				return err
+			}
+		}
+
+		// Join: founders extend the group committed under sidEstablish;
+		// the joiner itself has no base session.
+		base := sidEstablish
+		if !founder {
+			base = ""
+		}
+		if err := w.runFlow(func() ([]engine.Outbound, []engine.Event, error) {
+			return w.mach.StartJoin(sidJoin, base, roster, joiner)
+		}, established(sidJoin)); err != nil {
+			return err
+		}
+		if err := w.runFlow(func() ([]engine.Outbound, []engine.Event, error) {
+			return w.mach.StartConfirm(sidConfirm2, sidJoin)
+		}, confirmed(sidConfirm2)); err != nil {
+			return err
+		}
+		if w.id == evictee {
+			// The evicted node's last key is the joined group's.
+			fps[i] = sha256.Sum256(w.mach.Session(sidJoin).Key.Bytes())
+			return nil
+		}
+
+		// Leave: every survivor derives the contracted ring and refresh
+		// set from its own committed session — no coordinator.
+		newRoster, refresh, err := engine.PlanLeave(w.mach.Session(sidJoin), []string{evictee})
+		if err != nil {
+			return err
+		}
+		if err := w.runFlow(func() ([]engine.Outbound, []engine.Event, error) {
+			return w.mach.StartPartition(sidLeave, sidJoin, newRoster, refresh)
+		}, established(sidLeave)); err != nil {
+			return err
+		}
+		if err := w.runFlow(func() ([]engine.Outbound, []engine.Event, error) {
+			return w.mach.StartConfirm(sidConfirm3, sidLeave)
+		}, confirmed(sidConfirm3)); err != nil {
+			return err
+		}
+		fps[i] = sha256.Sum256(w.mach.Session(sidLeave).Key.Bytes())
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return fps, nil
 }

@@ -61,3 +61,55 @@ func TestEventDrivenEstablishmentOverTCP(t *testing.T) {
 		}
 	}
 }
+
+// TestEventDrivenDynamicLifecycleOverTCP runs the coordinator-free
+// dynamic-membership demo over a real hub: establish, admit a new TCP
+// node via Join, evict a member via Leave, confirming after every
+// re-key. Every node derives the flow parameters from its own session
+// registry; no goroutine sees more than one member.
+func TestEventDrivenDynamicLifecycleOverTCP(t *testing.T) {
+	hub, err := transport.NewHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	router := transport.NewRouter(hub.Addr())
+	defer router.Close()
+
+	set := params.Default()
+	cfg := engine.Config{Set: set.Public()}
+	const n = 4 // founders; one more node joins dynamically
+	ids := make([]string, n+1)
+	keys := make([]*gq.PrivateKey, n+1)
+	meters := make([]*meter.Meter, n+1)
+	for i := range ids {
+		id := fmt.Sprintf("node-%02d", i+1)
+		sk, err := gq.Extract(set.RSA, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+		keys[i] = sk
+		meters[i] = meter.New()
+		if err := router.Attach(id, meters[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	roster, joiner, evictee := ids[:n], ids[n], ids[1]
+
+	fps, err := runEventLifecycle(router, cfg, roster, keys, meters, joiner, evictee)
+	if err != nil {
+		t.Fatalf("event-driven lifecycle over TCP: %v", err)
+	}
+	// All survivors — including the joined node — confirmed one final
+	// key; the evictee's last key (the joined group's) must differ.
+	ref, err := checkAgreement(ids, fps, evictee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if id == evictee && fps[i] == ref {
+			t.Fatal("evictee still holds the survivors' key")
+		}
+	}
+}

@@ -52,6 +52,16 @@
 //	for _, p := range sess.Outbox() {
 //	    transportSend(p) // the final reaction can commit AND emit
 //	}
+//
+// Dynamic membership is event-driven too: each committed session stays
+// registered under its id inside the member's machine, and the dynamic
+// sessions name the group they re-key — one member can serve any number
+// of independent groups concurrently with no cross-talk:
+//
+//	js, _ := alice.JoinSession("room-7/j1", "room-7", nil, "dave")   // members
+//	jd, _ := dave.JoinSession("room-7/j1", "", roster, "dave")       // the joiner
+//	ls, _ := alice.LeaveSession("room-7/l1", "room-7/j1", []string{"bob"})
+//	cs, _ := alice.ConfirmSession("room-7/c1", "room-7/l1")
 package idgka
 
 import (

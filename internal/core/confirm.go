@@ -18,6 +18,6 @@ func ConfirmKey(net netsim.Medium, members []*Member) error {
 		return errNoSession
 	}
 	return runFlowFatal(net, members, func(mb *Member) ([]engine.Outbound, []engine.Event, error) {
-		return mb.mach.StartConfirm(lockstepSID)
+		return mb.mach.StartConfirm(lockstepSID, lockstepBase)
 	}, "key confirmation")
 }

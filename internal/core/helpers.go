@@ -14,6 +14,11 @@ import (
 // the paper-comparable traffic accounting exact.
 const lockstepSID = ""
 
+// lockstepBase selects the machine's most recently committed group as a
+// dynamic flow's base — the single-group model of the lockstep drivers,
+// which run one group per machine.
+const lockstepBase = ""
+
 // starter begins one member's flow and returns its opening messages.
 type starter func(mb *Member) ([]engine.Outbound, []engine.Event, error)
 

@@ -29,6 +29,6 @@ func RunJoin(net netsim.Medium, members []*Member, joiner *Member) error {
 	roster := rosterOf(members)
 	all := append(append([]*Member{}, members...), joiner)
 	return runFlowFatal(net, all, func(mb *Member) ([]engine.Outbound, []engine.Event, error) {
-		return mb.mach.StartJoin(lockstepSID, roster, joiner.ID())
+		return mb.mach.StartJoin(lockstepSID, lockstepBase, roster, joiner.ID())
 	}, "join")
 }

@@ -50,6 +50,6 @@ func RunPartition(net netsim.Medium, members []*Member, leavers []string) error 
 		}
 	}
 	return runFlowRetrying(net, remain, func(mb *Member) ([]engine.Outbound, []engine.Event, error) {
-		return mb.mach.StartPartition(lockstepSID, newRoster, refresh)
+		return mb.mach.StartPartition(lockstepSID, lockstepBase, newRoster, refresh)
 	}, "partition")
 }

@@ -25,7 +25,7 @@ func RunMerge(net netsim.Medium, groupA, groupB []*Member) error {
 	rosterB := rosterOf(groupB)
 	all := append(append([]*Member{}, groupA...), groupB...)
 	return runFlowFatal(net, all, func(mb *Member) ([]engine.Outbound, []engine.Event, error) {
-		return mb.mach.StartMerge(lockstepSID, rosterA, rosterB)
+		return mb.mach.StartMerge(lockstepSID, lockstepBase, rosterA, rosterB)
 	}, "merge")
 }
 

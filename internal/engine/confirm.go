@@ -23,12 +23,15 @@ type confirmFlow struct {
 	seen    map[string]bool
 }
 
-// StartConfirm begins key confirmation over the member's current session.
-func (mc *Machine) StartConfirm(sid string) ([]Outbound, []Event, error) {
-	if mc.group == nil || mc.group.Key == nil {
-		return nil, nil, ErrNoSession
+// StartConfirm begins key confirmation over the committed session named
+// by base (empty base selects the machine's most recently committed
+// group, for single-group lockstep drivers).
+func (mc *Machine) StartConfirm(sid, base string) ([]Outbound, []Event, error) {
+	g, err := mc.baseGroup(base)
+	if err != nil {
+		return nil, nil, err
 	}
-	f := &confirmFlow{mc: mc, g: mc.group, got: map[string]bool{}, seen: map[string]bool{}}
+	f := &confirmFlow{mc: mc, g: g, got: map[string]bool{}, seen: map[string]bool{}}
 	return mc.start(sid, f)
 }
 
@@ -54,12 +57,21 @@ func (f *confirmFlow) deliver(msg *netsim.Message) error {
 	peer := r.String()
 	got := r.Bytes()
 	if err := r.Close(); err != nil {
-		return fmt.Errorf("engine: confirm from %s: %w", msg.From, err)
+		return Retryable(fmt.Errorf("engine: confirm from %s: %w", msg.From, err))
 	}
 	if peer != msg.From || f.g.Position(peer) < 0 {
 		return nil // digests from non-members are ignored
 	}
+	if peer == f.mc.id {
+		// A loopback or echoing medium can reflect the member's own digest
+		// back; counting it would complete confirmation one real peer
+		// short.
+		return nil
+	}
 	if subtle.ConstantTimeCompare(got, f.digest(peer)) != 1 {
+		// Deliberately NOT Retryable: a mismatched digest means the peers
+		// computed different keys, which re-broadcasting digests cannot
+		// cure — the application must re-run the keying flow itself.
 		return fmt.Errorf("engine: key confirmation failed: %s and %s disagree", f.mc.id, peer)
 	}
 	f.got[peer] = true
@@ -74,7 +86,9 @@ func (f *confirmFlow) advance() ([]Outbound, []Event, error) {
 		f.started = true
 	}
 	if len(f.got) == f.g.Size()-1 {
-		return outs, []Event{{Kind: EventConfirmed}}, nil
+		// The event carries the flow's snapshot of the confirmed group, so
+		// consumers need not re-read mutable registry state.
+		return outs, []Event{{Kind: EventConfirmed, Group: f.g}}, nil
 	}
 	return outs, nil, nil
 }

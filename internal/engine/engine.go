@@ -29,13 +29,19 @@
 // the same points as the lockstep code, so Tables 1–5 and the energy model
 // are unaffected by the execution mode.
 //
-// Concurrency model: any number of establishments (StartInitial) may run
-// concurrently on one machine. The dynamic flows (StartJoin,
-// StartPartition, StartMerge) and StartConfirm re-key the machine's MOST
-// RECENTLY COMMITTED group — they snapshot it at Start, so a concurrent
-// commit cannot switch keys under an in-flight flow, but applications
-// managing several independent groups per machine must serialise keying
-// flows per group (per-sid base selection is future work).
+// Concurrency model: any number of flows may run concurrently on one
+// machine, and one machine may serve any number of independent groups.
+// Committed groups live in a per-session registry keyed by session id;
+// the dynamic flows (StartJoin, StartPartition, StartMerge) and
+// StartConfirm name their base group explicitly — they snapshot the
+// registry entry at Start (so a concurrent commit cannot switch keys
+// under an in-flight flow) and commit the re-keyed group back under the
+// flow's own session id. An empty base selects the machine's most
+// recently committed group, the single-group model the legacy lockstep
+// drivers use. The two wire modes are mutually exclusive while flows are
+// in flight: starting a legacy flow while enveloped flows are active (or
+// vice versa) is rejected, because legacy mode routes ALL inbound traffic
+// raw into its one flow and would corrupt concurrent enveloped sessions.
 package engine
 
 import (
@@ -145,7 +151,8 @@ const (
 	// event carries the resulting Group view.
 	EventEstablished EventKind = iota + 1
 	// EventConfirmed fires when a key-confirmation flow has checked every
-	// peer digest.
+	// peer digest; the event carries the confirmed Group (the flow's
+	// snapshot — confirmation commits nothing new).
 	EventConfirmed
 	// EventFailed fires when a flow cannot continue. Retryable failures are
 	// the paper's "all members retransmit again" signal (verification or
@@ -158,7 +165,7 @@ const (
 type Event struct {
 	Kind      EventKind
 	SID       string
-	Group     *Group // set for EventEstablished
+	Group     *Group // set for EventEstablished and EventConfirmed
 	Err       error  // set for EventFailed
 	Retryable bool
 }
@@ -275,6 +282,26 @@ func (mc *Machine) Group() *Group { return mc.group }
 // Session returns the committed group of one session id, or nil.
 func (mc *Machine) Session(sid string) *Group { return mc.sessions[sid] }
 
+// baseGroup resolves the committed group a dynamic flow re-keys: the
+// registry entry of the named base session, or — when base is empty —
+// the machine's most recently committed group (the single-group model of
+// the legacy lockstep drivers). The returned group is the flow's
+// snapshot: a concurrent commit replaces the registry entry but cannot
+// switch keys under an in-flight flow.
+func (mc *Machine) baseGroup(base string) (*Group, error) {
+	g := mc.group
+	if base != "" {
+		g = mc.sessions[base]
+	}
+	if g == nil || g.Key == nil {
+		if base != "" {
+			return nil, fmt.Errorf("%w (no committed group under base session %q)", ErrNoSession, base)
+		}
+		return nil, ErrNoSession
+	}
+	return g, nil
+}
+
 // Key returns the current group key, or nil.
 func (mc *Machine) Key() *big.Int {
 	if mc.group == nil {
@@ -291,8 +318,22 @@ func (mc *Machine) start(sid string, f flow) ([]Outbound, []Event, error) {
 		if mc.legacy != nil && !mc.legacy.done && !mc.legacy.failed {
 			return nil, nil, errors.New("engine: a legacy flow is already active")
 		}
+		// Legacy mode feeds ALL inbound traffic raw into its one flow, so
+		// an active enveloped flow would be starved of its messages (and
+		// the legacy flow fed envelope bytes it cannot parse). Buffered
+		// early enveloped traffic marks sessions peers have already
+		// started, whose follow-up messages the legacy flow would consume.
+		if len(mc.flows) > 0 {
+			return nil, nil, fmt.Errorf("engine: cannot start a legacy flow while %d enveloped flow(s) are active", len(mc.flows))
+		}
+		if mc.earlyCount > 0 {
+			return nil, nil, fmt.Errorf("engine: cannot start a legacy flow with %d buffered enveloped message(s) pending", mc.earlyCount)
+		}
 		mc.legacy = rf
 	} else {
+		if mc.legacy != nil && !mc.legacy.done && !mc.legacy.failed {
+			return nil, nil, fmt.Errorf("engine: cannot start enveloped flow %q while a legacy flow is active", sid)
+		}
 		if old := mc.flows[sid]; old != nil {
 			rf.attempt = old.attempt + 1
 		} else if last, ok := mc.finished[sid]; ok {

@@ -169,7 +169,7 @@ func TestEngineLifecycleOrdered(t *testing.T) {
 	// Join: every participant (old ring + joiner) starts the same flow.
 	for _, id := range all {
 		b.start(id, func(mc *engine.Machine) ([]engine.Outbound, []engine.Event, error) {
-			return mc.StartJoin("s-join", ring, "J01")
+			return mc.StartJoin("s-join", "s-init", ring, "J01")
 		})
 	}
 	b.pump()
@@ -198,7 +198,7 @@ func TestEngineLifecycleOrdered(t *testing.T) {
 	}
 	for _, id := range newRoster {
 		b.start(id, func(mc *engine.Machine) ([]engine.Outbound, []engine.Event, error) {
-			return mc.StartPartition("s-leave", newRoster, refresh)
+			return mc.StartPartition("s-leave", "s-join", newRoster, refresh)
 		})
 	}
 	b.pump()
@@ -259,7 +259,7 @@ func TestEngineLifecycleShuffled(t *testing.T) {
 			initialKey := assertSession(t, nodes, ring, "s-init")
 
 			begin(all, func(mc *engine.Machine) ([]engine.Outbound, []engine.Event, error) {
-				return mc.StartJoin("s-join", ring, "J01")
+				return mc.StartJoin("s-join", "s-init", ring, "J01")
 			})
 			joinKey := assertSession(t, nodes, all, "s-join")
 			if joinKey.Cmp(initialKey) == 0 {
@@ -277,7 +277,7 @@ func TestEngineLifecycleShuffled(t *testing.T) {
 				t.Fatal(err)
 			}
 			begin(newRoster, func(mc *engine.Machine) ([]engine.Outbound, []engine.Event, error) {
-				return mc.StartPartition("s-leave", newRoster, refresh)
+				return mc.StartPartition("s-leave", "s-join", newRoster, refresh)
 			})
 			leaveKey := assertSession(t, nodes, newRoster, "s-leave")
 			if leaveKey.Cmp(joinKey) == 0 {
@@ -330,7 +330,13 @@ func TestEngineMergeShuffled(t *testing.T) {
 	})
 	keyA := assertSession(t, nodes, ringA, "s-a")
 	start(all, func(mc *engine.Machine) ([]engine.Outbound, []engine.Event, error) {
-		return mc.StartMerge("s-m", ringA, ringB)
+		base := "s-a"
+		for _, id := range ringB {
+			if id == mc.ID() {
+				base = "s-b"
+			}
+		}
+		return mc.StartMerge("s-m", base, ringA, ringB)
 	})
 	merged := assertSession(t, nodes, all, "s-m")
 	if merged.Cmp(keyA) == 0 {
@@ -381,7 +387,7 @@ func TestEngineConfirmShuffled(t *testing.T) {
 	})
 	assertSession(t, nodes, ring, "s")
 	start(func(mc *engine.Machine) ([]engine.Outbound, []engine.Event, error) {
-		return mc.StartConfirm("s-confirm")
+		return mc.StartConfirm("s-confirm", "s")
 	})
 	for _, id := range ring {
 		confirmed := false

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"math/big"
+	"slices"
 
 	"idgka/internal/wire"
 )
@@ -59,6 +60,14 @@ func (g *Group) Controller() string { return g.Roster[0] }
 
 // Last returns U_n, the closing member of the ring.
 func (g *Group) Last() string { return g.Roster[len(g.Roster)-1] }
+
+// ringEquals reports whether the group's roster is exactly the given
+// ring, in order. Dynamic flows use it to reject a base session whose
+// committed ring does not match the roster the flow was started with —
+// the symptom of keying off the wrong group.
+func (g *Group) ringEquals(ring []string) bool {
+	return slices.Equal(g.Roster, ring)
+}
 
 // Neighbor returns the id at offset d from position i around the ring.
 func (g *Group) Neighbor(i, d int) string {

@@ -61,8 +61,11 @@ type joinFlow struct {
 // StartJoin begins the three-round Join protocol admitting joiner into the
 // group whose current ring is oldRoster. Every existing member and the
 // joiner itself start the same flow; the joiner needs no established
-// session, everyone else does.
-func (mc *Machine) StartJoin(sid string, oldRoster []string, joiner string) ([]Outbound, []Event, error) {
+// session, everyone else names the committed session being extended via
+// base (empty base selects the machine's most recently committed group,
+// for single-group lockstep drivers). The new group commits under the
+// flow's sid.
+func (mc *Machine) StartJoin(sid, base string, oldRoster []string, joiner string) ([]Outbound, []Event, error) {
 	if len(oldRoster) < 2 {
 		return nil, nil, errors.New("engine: join needs an existing group of >= 2")
 	}
@@ -95,12 +98,16 @@ func (mc *Machine) StartJoin(sid string, oldRoster []string, joiner string) ([]O
 		}
 	}
 	if f.role != jrJoiner {
-		if mc.group == nil || mc.group.Key == nil {
-			return nil, nil, ErrNoSession
-		}
 		// Snapshot the base group: a concurrent session committing while
 		// this flow is in flight must not switch the key under it.
-		f.base = mc.group
+		g, err := mc.baseGroup(base)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !g.ringEquals(oldRoster) {
+			return nil, nil, fmt.Errorf("engine: join base session ring %v does not match roster %v", g.Roster, oldRoster)
+		}
+		f.base = g
 	}
 	return mc.start(sid, f)
 }
@@ -121,10 +128,10 @@ func (f *joinFlow) deliver(msg *netsim.Message) error {
 		z := r.Big()
 		sig := &gq.Signature{S: r.Big(), C: r.Big()}
 		if err := r.Close(); err != nil {
-			return err
+			return Retryable(fmt.Errorf("join round1 from %s: %w", msg.From, err))
 		}
 		if id != msg.From {
-			return errors.New("engine: join round1 identity mismatch")
+			return Retryable(errors.New("join round1 identity mismatch"))
 		}
 		f.zJoin = z
 		f.m1Sig = sig
@@ -138,7 +145,7 @@ func (f *joinFlow) deliver(msg *netsim.Message) error {
 		_ = r.String()
 		f.wrapStar = r.Bytes()
 		if err := r.Close(); err != nil {
-			return err
+			return Retryable(fmt.Errorf("join round2a from %s: %w", msg.From, err))
 		}
 	case MsgJoinLast:
 		if msg.From != f.un {
@@ -151,7 +158,7 @@ func (f *joinFlow) deliver(msg *netsim.Message) error {
 		f.znFromLast = r.Big()
 		f.lastSig = &gq.Signature{S: r.Big(), C: r.Big()}
 		if err := r.Close(); err != nil {
-			return err
+			return Retryable(fmt.Errorf("join round2b from %s: %w", msg.From, err))
 		}
 		f.haveLast = true
 	case MsgJoinFwd:
@@ -163,7 +170,7 @@ func (f *joinFlow) deliver(msg *netsim.Message) error {
 		_ = r.String()
 		f.fwdWrapped = append([]byte(nil), r.Bytes()...)
 		if r.Err() != nil {
-			return r.Err()
+			return Retryable(fmt.Errorf("join round3 from %s: %w", msg.From, r.Err()))
 		}
 		// The remainder of the payload is the state-table block.
 		f.fwdTables = msg.Payload[len(msg.Payload)-r.Remaining():]
@@ -180,7 +187,7 @@ func (f *joinFlow) verifyM1() error {
 	err := gq.Verify(gq.ParamsFrom(mc.cfg.Set.RSA), f.joiner, payload, f.m1Sig)
 	mc.m.SignVer(meter.SchemeGQ, 1)
 	if err != nil {
-		return fmt.Errorf("engine: %s rejects joiner: %w", mc.id, err)
+		return Retryable(fmt.Errorf("engine: %s rejects joiner: %w", mc.id, err))
 	}
 	f.verifiedM1 = true
 	return nil
@@ -227,7 +234,7 @@ func (f *joinFlow) advanceJoiner() ([]Outbound, []Event, error) {
 		signed := wire.NewBuffer().PutBytes(f.wrapDH).PutBig(f.znFromLast).Bytes()
 		if err := gq.Verify(gq.ParamsFrom(mc.cfg.Set.RSA), f.un, signed, f.lastSig); err != nil {
 			mc.m.SignVer(meter.SchemeGQ, 1)
-			return outs, nil, fmt.Errorf("engine: joiner rejects U_n: %w", err)
+			return outs, nil, Retryable(fmt.Errorf("engine: joiner rejects U_n: %w", err))
 		}
 		mc.m.SignVer(meter.SchemeGQ, 1)
 		f.kDH = new(big.Int).Exp(f.znFromLast, f.rJoin, sg.P)
@@ -240,7 +247,7 @@ func (f *joinFlow) advanceJoiner() ([]Outbound, []Event, error) {
 		}
 		kStar, err := cipher.UnwrapSecret(f.fwdWrapped, f.un)
 		if err != nil {
-			return outs, nil, fmt.Errorf("engine: joiner failed to unwrap K*: %w", err)
+			return outs, nil, Retryable(fmt.Errorf("engine: joiner failed to unwrap K*: %w", err))
 		}
 		mc.m.Sym(0, 1)
 		f.kStar = kStar
@@ -249,10 +256,10 @@ func (f *joinFlow) advanceJoiner() ([]Outbound, []Event, error) {
 		// present, so table entries cannot overwrite it).
 		tr := wire.NewReader(f.fwdTables)
 		if err := decodeStateTables(tr, g); err != nil {
-			return outs, nil, fmt.Errorf("engine: joiner state tables: %w", err)
+			return outs, nil, Retryable(fmt.Errorf("engine: joiner state tables: %w", err))
 		}
 		if err := tr.Close(); err != nil {
-			return outs, nil, fmt.Errorf("engine: joiner state tables: %w", err)
+			return outs, nil, Retryable(fmt.Errorf("engine: joiner state tables: %w", err))
 		}
 		return outs, []Event{{Kind: EventEstablished, Group: g}}, nil
 	}
@@ -315,7 +322,7 @@ func (f *joinFlow) advanceController() ([]Outbound, []Event, error) {
 		}
 		kDH, err := cipher.UnwrapSecret(f.wrapDH, f.un)
 		if err != nil {
-			return outs, nil, fmt.Errorf("engine: U_1 failed to unwrap K_DH: %w", err)
+			return outs, nil, Retryable(fmt.Errorf("engine: U_1 failed to unwrap K_DH: %w", err))
 		}
 		mc.m.Sym(0, 1)
 		f.kDHDec = kDH
@@ -369,7 +376,7 @@ func (f *joinFlow) advanceLast() ([]Outbound, []Event, error) {
 		}
 		kStar, err := cipher.UnwrapSecret(f.wrapStar, f.u1)
 		if err != nil {
-			return outs, nil, fmt.Errorf("engine: U_n failed to unwrap K*: %w", err)
+			return outs, nil, Retryable(fmt.Errorf("engine: U_n failed to unwrap K*: %w", err))
 		}
 		mc.m.Sym(0, 1)
 		cipherDH, err := sym.NewFromBig(f.kDH)
@@ -409,11 +416,11 @@ func (f *joinFlow) advanceOrdinary() ([]Outbound, []Event, error) {
 	}
 	kStar, err := cipher.UnwrapSecret(f.wrapStar, f.u1)
 	if err != nil {
-		return nil, nil, fmt.Errorf("engine: %s failed to unwrap K*: %w", mc.id, err)
+		return nil, nil, Retryable(fmt.Errorf("engine: %s failed to unwrap K*: %w", mc.id, err))
 	}
 	kDH, err := cipher.UnwrapSecret(f.wrapDH, f.un)
 	if err != nil {
-		return nil, nil, fmt.Errorf("engine: %s failed to unwrap K_DH: %w", mc.id, err)
+		return nil, nil, Retryable(fmt.Errorf("engine: %s failed to unwrap K_DH: %w", mc.id, err))
 	}
 	mc.m.Sym(0, 2)
 	g := f.commit(kStar, kDH, f.base.R)

@@ -46,6 +46,22 @@ func PlanPartition(ring, leavers []string, stale map[string]bool) (newRoster, re
 	return newRoster, refresh, nil
 }
 
+// PlanLeave derives the Partition parameters for evicting leavers from a
+// committed group using only that group's own state: members without a
+// stored GQ commitment in the group's t-table (e.g. admitted by a Join
+// since the last full keying) are marked stale and must refresh. Every
+// member's state tables record the same t-view, so all survivors derive
+// an identical plan with no coordinator.
+func PlanLeave(g *Group, leavers []string) (newRoster, refresh []string, err error) {
+	stale := map[string]bool{}
+	for _, id := range g.Roster {
+		if g.T[id] == nil {
+			stale[id] = true
+		}
+	}
+	return PlanPartition(g.Roster, leavers, stale)
+}
+
 // leaveFlow runs the two-round Leave/Partition protocol of Section 7 for
 // one surviving member. Refreshing survivors broadcast fresh z'_j ‖ t'_j in
 // round 1 (in strict-nonce mode every survivor broadcasts a fresh t'_j);
@@ -71,14 +87,22 @@ type leaveFlow struct {
 // StartPartition begins a Leave/Partition re-key over the contracted ring
 // newRoster. refresh lists the members drawing fresh exponents (normally
 // engine.PlanPartition output); every participant must be started with the
-// same roster and refresh list. The member must hold an established
-// session covering the contracted ring.
-func (mc *Machine) StartPartition(sid string, newRoster, refresh []string) ([]Outbound, []Event, error) {
-	if mc.group == nil || mc.group.Key == nil {
-		return nil, nil, ErrNoSession
+// same roster and refresh list. base names the committed session being
+// contracted (empty base selects the machine's most recently committed
+// group, for single-group lockstep drivers); it must cover the contracted
+// ring. The re-keyed group commits under the flow's sid.
+func (mc *Machine) StartPartition(sid, base string, newRoster, refresh []string) ([]Outbound, []Event, error) {
+	g, err := mc.baseGroup(base)
+	if err != nil {
+		return nil, nil, err
 	}
 	if len(newRoster) < 2 {
 		return nil, nil, errors.New("engine: partition would leave fewer than 2 members")
+	}
+	for _, id := range newRoster {
+		if g.Position(id) < 0 {
+			return nil, nil, fmt.Errorf("engine: partition survivor %q not in base session ring %v", id, g.Roster)
+		}
 	}
 	rs, err := newRingState(newRoster, mc.id)
 	if err != nil {
@@ -86,7 +110,7 @@ func (mc *Machine) StartPartition(sid string, newRoster, refresh []string) ([]Ou
 	}
 	f := &leaveFlow{
 		mc:         mc,
-		base:       mc.group,
+		base:       g,
 		ring:       rs,
 		refreshers: map[string]bool{},
 		senders:    map[string]bool{},

@@ -58,17 +58,20 @@ type mergeFlow struct {
 // StartMerge begins the three-round Merge fusing the groups with rings
 // rosterA and rosterB into a single keyed group with ring A‖B. Every
 // member of both groups starts the same flow with identical rosters; each
-// must hold an established session for its own ring.
-func (mc *Machine) StartMerge(sid string, rosterA, rosterB []string) ([]Outbound, []Event, error) {
+// names its own ring's committed session via base (empty base selects the
+// machine's most recently committed group, for single-group lockstep
+// drivers). The merged group commits under the flow's sid.
+func (mc *Machine) StartMerge(sid, base string, rosterA, rosterB []string) ([]Outbound, []Event, error) {
 	if len(rosterA) < 2 || len(rosterB) < 2 {
 		return nil, nil, errors.New("engine: merge needs two groups of >= 2")
 	}
-	if mc.group == nil || mc.group.Key == nil {
-		return nil, nil, ErrNoSession
+	g, err := mc.baseGroup(base) // snapshot: concurrent commits must not switch the key mid-flow
+	if err != nil {
+		return nil, nil, err
 	}
 	f := &mergeFlow{
 		mc:   mc,
-		base: mc.group, // snapshot: concurrent commits must not switch the key mid-flow
+		base: g,
 
 		rosterA:   append([]string(nil), rosterA...),
 		rosterB:   append([]string(nil), rosterB...),
@@ -99,6 +102,13 @@ func (mc *Machine) StartMerge(sid string, rosterA, rosterB []string) ([]Outbound
 		return nil, nil, fmt.Errorf("engine: %s in neither merging ring", mc.id)
 	}
 	f.isCtl = mc.id == f.ownCtl
+	own := f.rosterA
+	if !f.sideA {
+		own = f.rosterB
+	}
+	if !g.ringEquals(own) {
+		return nil, nil, fmt.Errorf("engine: merge base session ring %v does not match own ring %v", g.Roster, own)
+	}
 	return mc.start(sid, f)
 }
 
@@ -118,7 +128,7 @@ func (f *mergeFlow) deliver(msg *netsim.Message) error {
 		a := &mergeAdvert{zNew: r.Big(), zLast: r.Big()}
 		a.sig = &gq.Signature{S: r.Big(), C: r.Big()}
 		if err := r.Close(); err != nil {
-			return err
+			return Retryable(fmt.Errorf("merge round1 from %s: %w", msg.From, err))
 		}
 		if id != msg.From {
 			return nil
@@ -131,7 +141,7 @@ func (f *mergeFlow) deliver(msg *netsim.Message) error {
 		wrapGroup := r.Bytes()
 		wrapDH := r.Bytes()
 		if err := r.Close(); err != nil {
-			return err
+			return Retryable(fmt.Errorf("merge round2 from %s: %w", msg.From, err))
 		}
 		if id != msg.From {
 			return nil
@@ -148,7 +158,7 @@ func (f *mergeFlow) deliver(msg *netsim.Message) error {
 		id := r.String()
 		w := r.Bytes()
 		if r.Err() != nil {
-			return r.Err()
+			return Retryable(fmt.Errorf("merge round3 from %s: %w", msg.From, r.Err()))
 		}
 		if id != msg.From {
 			return nil
@@ -207,7 +217,7 @@ func (f *mergeFlow) advanceController() ([]Outbound, []Event, error) {
 		signed := wire.NewBuffer().PutString(f.otherCtl).PutBig(a.zNew).PutBig(a.zLast).Bytes()
 		if err := gq.Verify(gq.ParamsFrom(mc.cfg.Set.RSA), f.otherCtl, signed, a.sig); err != nil {
 			mc.m.SignVer(meter.SchemeGQ, 1)
-			return outs, nil, fmt.Errorf("engine: %s rejects merge advert: %w", mc.id, err)
+			return outs, nil, Retryable(fmt.Errorf("engine: %s rejects merge advert: %w", mc.id, err))
 		}
 		mc.m.SignVer(meter.SchemeGQ, 1)
 		f.kDH = new(big.Int).Exp(a.zNew, f.rNew, sg.P)
@@ -246,7 +256,7 @@ func (f *mergeFlow) advanceController() ([]Outbound, []Event, error) {
 		}
 		peerKStar, err := cd.UnwrapSecret(f.wrapDHPeer, f.otherCtl)
 		if err != nil {
-			return outs, nil, fmt.Errorf("engine: %s failed to unwrap peer K*: %w", mc.id, err)
+			return outs, nil, Retryable(fmt.Errorf("engine: %s failed to unwrap peer K*: %w", mc.id, err))
 		}
 		mc.m.Sym(0, 1)
 		f.kStarForeign = peerKStar
@@ -333,7 +343,7 @@ func (f *mergeFlow) advanceOrdinary() ([]Outbound, []Event, error) {
 		}
 		own, err := cg.UnwrapSecret(f.wrapGroupOwn, f.ownCtl)
 		if err != nil {
-			return nil, nil, fmt.Errorf("engine: %s failed to unwrap own K*: %w", mc.id, err)
+			return nil, nil, Retryable(fmt.Errorf("engine: %s failed to unwrap own K*: %w", mc.id, err))
 		}
 		mc.m.Sym(0, 1)
 		f.kStarOwn = own
@@ -345,7 +355,7 @@ func (f *mergeFlow) advanceOrdinary() ([]Outbound, []Event, error) {
 		}
 		foreign, err := cg.UnwrapSecret(f.rewrapped, f.ownCtl)
 		if err != nil {
-			return nil, nil, fmt.Errorf("engine: %s failed to unwrap foreign K*: %w", mc.id, err)
+			return nil, nil, Retryable(fmt.Errorf("engine: %s failed to unwrap foreign K*: %w", mc.id, err))
 		}
 		mc.m.Sym(0, 1)
 		f.kStarForeign = foreign
@@ -390,10 +400,10 @@ func (f *mergeFlow) commit(r *big.Int) ([]Event, error) {
 
 	tr := wire.NewReader(f.tablesForeign)
 	if err := decodeStateTables(tr, g); err != nil {
-		return nil, fmt.Errorf("engine: %s merge state tables: %w", mc.id, err)
+		return nil, Retryable(fmt.Errorf("engine: %s merge state tables: %w", mc.id, err))
 	}
 	if err := tr.Close(); err != nil {
-		return nil, fmt.Errorf("engine: %s merge state tables: %w", mc.id, err)
+		return nil, Retryable(fmt.Errorf("engine: %s merge state tables: %w", mc.id, err))
 	}
 	return []Event{{Kind: EventEstablished, Group: g}}, nil
 }

@@ -1,0 +1,335 @@
+package engine_test
+
+import (
+	"fmt"
+	"testing"
+
+	"idgka/internal/engine"
+	"idgka/internal/netsim"
+	"idgka/internal/wire"
+)
+
+// TestTwoGroupsOneMachineConcurrentDynamics is the aliasing regression:
+// one machine (S01) serves two independent groups, and a Join on group A
+// runs concurrently with a Leave on group B under the async scheduler's
+// shuffled delivery. Before the per-session group registry, S01 based
+// both flows on its most recently committed group, silently keying the
+// Join off group B's state; now each flow names its base session and the
+// keys must never cross-contaminate.
+func TestTwoGroupsOneMachineConcurrentDynamics(t *testing.T) {
+	ringA := []string{"A01", "A02", "S01"} // S01 is U_n: the Join bridge role
+	ringB := []string{"B01", "B02", "S01", "B03"}
+	all := []string{"A01", "A02", "S01", "B01", "B02", "B03", "J01"}
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			nodes := buildNodes(t, all)
+			async := netsim.NewAsync(seed)
+			for _, id := range all {
+				id := id
+				nd := nodes[id]
+				if err := async.Register(id, nd.mc.Meter(), func(msg netsim.Message) error {
+					outs, evts := nd.mc.Step(msg)
+					nd.record(evts)
+					return sendAll(async, id, outs)
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			begin := func(ids []string, f func(mc *engine.Machine) ([]engine.Outbound, []engine.Event, error)) {
+				t.Helper()
+				for _, id := range ids {
+					outs, evts, err := f(nodes[id].mc)
+					if err != nil {
+						t.Fatalf("start on %s: %v", id, err)
+					}
+					nodes[id].record(evts)
+					if err := sendAll(async, id, outs); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			run := func() {
+				t.Helper()
+				if _, err := async.Run(0); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Group A keys first, group B second: S01's "most recently
+			// committed" group is B — the wrong base for the Join on A.
+			begin(ringA, func(mc *engine.Machine) ([]engine.Outbound, []engine.Event, error) {
+				return mc.StartInitial("g-a", ringA)
+			})
+			run()
+			keyA := assertSession(t, nodes, ringA, "g-a")
+			begin(ringB, func(mc *engine.Machine) ([]engine.Outbound, []engine.Event, error) {
+				return mc.StartInitial("g-b", ringB)
+			})
+			run()
+			keyB := assertSession(t, nodes, ringB, "g-b")
+			if keyA.Cmp(keyB) == 0 {
+				t.Fatal("independent groups derived the same key")
+			}
+
+			// Concurrently: J01 joins group A while B02 leaves group B.
+			// All flows start before any delivery, then one lottery
+			// interleaves every message of both re-keyings.
+			joinParts := append(append([]string(nil), ringA...), "J01")
+			newRosterB, refreshB, err := engine.PlanPartition(ringB, []string{"B02"}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			begin(joinParts, func(mc *engine.Machine) ([]engine.Outbound, []engine.Event, error) {
+				return mc.StartJoin("f-join", "g-a", ringA, "J01")
+			})
+			begin(newRosterB, func(mc *engine.Machine) ([]engine.Outbound, []engine.Event, error) {
+				return mc.StartPartition("f-leave", "g-b", newRosterB, refreshB)
+			})
+			run()
+
+			newKeyA := assertSession(t, nodes, joinParts, "f-join")
+			newKeyB := assertSession(t, nodes, newRosterB, "f-leave")
+			if newKeyA.Cmp(newKeyB) == 0 {
+				t.Fatal("concurrent dynamic flows cross-contaminated: same key")
+			}
+			if newKeyA.Cmp(keyA) == 0 || newKeyA.Cmp(keyB) == 0 {
+				t.Fatal("join did not derive a fresh key")
+			}
+			if newKeyB.Cmp(keyA) == 0 || newKeyB.Cmp(keyB) == 0 {
+				t.Fatal("leave did not derive a fresh key")
+			}
+
+			// The shared machine's registry holds all four groups, each
+			// under its own sid, with the right rosters.
+			s := nodes["S01"].mc
+			if g := s.Session("f-join"); g == nil || g.Key.Cmp(newKeyA) != 0 || g.Size() != 4 || g.Last() != "J01" {
+				t.Fatalf("S01: bad f-join registry entry %+v", g)
+			}
+			if g := s.Session("f-leave"); g == nil || g.Key.Cmp(newKeyB) != 0 || g.Position("B02") != -1 {
+				t.Fatalf("S01: bad f-leave registry entry %+v", g)
+			}
+			if g := s.Session("g-a"); g == nil || g.Key.Cmp(keyA) != 0 {
+				t.Fatal("S01: base session g-a lost")
+			}
+			if g := s.Session("g-b"); g == nil || g.Key.Cmp(keyB) != 0 {
+				t.Fatal("S01: base session g-b lost")
+			}
+		})
+	}
+}
+
+// TestDynamicFlowRequiresMatchingBase: naming a base session whose ring
+// does not match the flow's roster is rejected at Start instead of
+// silently keying off the wrong group.
+func TestDynamicFlowRequiresMatchingBase(t *testing.T) {
+	ringA := []string{"A01", "A02", "S01"}
+	ringB := []string{"B01", "S01", "B02"}
+	all := append(append([]string(nil), ringA...), "B01", "B02")
+	nodes := buildNodes(t, all)
+	b := newBus(t, nodes, all)
+	for _, id := range ringA {
+		b.start(id, func(mc *engine.Machine) ([]engine.Outbound, []engine.Event, error) {
+			return mc.StartInitial("g-a", ringA)
+		})
+	}
+	b.pump()
+	for _, id := range ringB {
+		b.start(id, func(mc *engine.Machine) ([]engine.Outbound, []engine.Event, error) {
+			return mc.StartInitial("g-b", ringB)
+		})
+	}
+	b.pump()
+
+	s := nodes["S01"].mc
+	// Join on ring A naming group B as base: ring mismatch.
+	if _, _, err := s.StartJoin("x1", "g-b", ringA, "J01"); err == nil {
+		t.Fatal("join with mismatched base accepted")
+	}
+	// Partition of a ring-A member naming group B as base.
+	if _, _, err := s.StartPartition("x2", "g-b", []string{"A01", "S01"}, []string{"A01"}); err == nil {
+		t.Fatal("partition with survivors outside the base ring accepted")
+	}
+	// Unknown base session.
+	if _, _, err := s.StartConfirm("x3", "nope"); err == nil {
+		t.Fatal("confirm with unknown base accepted")
+	}
+	// Merge naming the wrong side's session as base.
+	if _, _, err := s.StartMerge("x4", "g-b", ringA, []string{"C01", "C02"}); err == nil {
+		t.Fatal("merge with mismatched base accepted")
+	}
+	// The rejections above must not have leaked flows: the correct base
+	// still works.
+	if _, _, err := s.StartConfirm("x5", "g-a"); err != nil {
+		t.Fatalf("confirm with valid base rejected: %v", err)
+	}
+}
+
+// TestConfirmIgnoresSelfDigest: a loopback or echoing medium reflecting a
+// member's own confirmation digest back must not count toward the peer
+// roster, or confirmation would complete one real peer short.
+func TestConfirmIgnoresSelfDigest(t *testing.T) {
+	ring := []string{"A", "B", "C"}
+	nodes := buildNodes(t, ring)
+	b := newBus(t, nodes, ring)
+	for _, id := range ring {
+		b.start(id, func(mc *engine.Machine) ([]engine.Outbound, []engine.Event, error) {
+			return mc.StartInitial("s", ring)
+		})
+	}
+	b.pump()
+	assertSession(t, nodes, ring, "s")
+
+	outsA, _, err := nodes["A"].mc.StartConfirm("c", "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outsA) != 1 {
+		t.Fatalf("A emitted %d confirm messages", len(outsA))
+	}
+	outsB, _, err := nodes["B"].mc.StartConfirm("c", "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outsC, _, err := nodes["C"].mc.StartConfirm("c", "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	confirmed := func() bool {
+		for _, ev := range nodes["A"].events {
+			if ev.Kind == engine.EventConfirmed {
+				return true
+			}
+		}
+		return false
+	}
+	// Echo A's own digest back, then deliver B's: only ONE real peer has
+	// confirmed, so A must not be done yet.
+	nodes["A"].record(step2(t, nodes["A"], msgOf("A", outsA[0])))
+	nodes["A"].record(step2(t, nodes["A"], msgOf("B", outsB[0])))
+	if confirmed() {
+		t.Fatal("self digest counted toward confirmation")
+	}
+	nodes["A"].record(step2(t, nodes["A"], msgOf("C", outsC[0])))
+	if !confirmed() {
+		t.Fatal("A did not confirm after both real peers' digests")
+	}
+}
+
+// step2 steps a machine and returns the events, failing the test on a
+// failure event.
+func step2(t *testing.T, nd *node, msg netsim.Message) []engine.Event {
+	t.Helper()
+	_, evts := nd.mc.Step(msg)
+	for _, ev := range evts {
+		if ev.Kind == engine.EventFailed {
+			t.Fatalf("unexpected failure: %v", ev.Err)
+		}
+	}
+	return evts
+}
+
+// TestWireModeExclusion: a legacy (un-enveloped) flow routes ALL inbound
+// traffic raw into itself, so the machine must refuse to mix wire modes
+// while flows are in flight.
+func TestWireModeExclusion(t *testing.T) {
+	ring := []string{"A", "B", "C"}
+	nodes := buildNodes(t, ring)
+	mc := nodes["A"].mc
+
+	// Enveloped flow active: starting a legacy flow must fail.
+	if _, _, err := mc.StartInitial("s", ring); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := mc.StartInitial("", ring); err == nil {
+		t.Fatal("legacy flow started while an enveloped flow is active")
+	}
+	mc.Abort("s")
+
+	// Legacy flow active: starting an enveloped flow must fail.
+	if _, _, err := mc.StartInitial("", ring); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := mc.StartInitial("s2", ring); err == nil {
+		t.Fatal("enveloped flow started while a legacy flow is active")
+	}
+	mc.Abort("")
+	if _, _, err := mc.StartInitial("s3", ring); err != nil {
+		t.Fatalf("enveloped flow rejected after legacy abort: %v", err)
+	}
+	mc.Abort("s3")
+
+	// Buffered early enveloped traffic (a session a peer already started)
+	// must also block a legacy start: its follow-up messages would be fed
+	// raw into the legacy flow.
+	env := wire.NewBuffer().PutString("s4").PutUint(0).PutString("B").Bytes()
+	if outs, _ := mc.Step(netsim.Message{From: "B", Type: engine.MsgRound1, Payload: env}); len(outs) != 0 {
+		t.Fatal("idle machine reacted to early traffic")
+	}
+	if _, _, err := mc.StartInitial("", ring); err == nil {
+		t.Fatal("legacy flow started over buffered enveloped traffic")
+	}
+	mc.Abort("s4")
+	if _, _, err := mc.StartInitial("", ring); err != nil {
+		t.Fatalf("legacy flow rejected after buffer drained: %v", err)
+	}
+}
+
+// TestJoinMergeFailuresAreRetryable: parse and verification failures in
+// the Join and Merge flows must carry the engine's retryable marker, the
+// trigger of the paper's "all members retransmit again" loop, exactly as
+// the initial and leave flows already do.
+func TestJoinMergeFailuresAreRetryable(t *testing.T) {
+	ringA := []string{"A01", "A02", "A03"}
+	ringB := []string{"B01", "B02"}
+	all := append(append([]string(nil), ringA...), ringB...)
+	nodes := buildNodes(t, all)
+	b := newBus(t, nodes, all)
+	for _, id := range ringA {
+		b.start(id, func(mc *engine.Machine) ([]engine.Outbound, []engine.Event, error) {
+			return mc.StartInitial("g-a", ringA)
+		})
+	}
+	b.pump()
+	for _, id := range ringB {
+		b.start(id, func(mc *engine.Machine) ([]engine.Outbound, []engine.Event, error) {
+			return mc.StartInitial("g-b", ringB)
+		})
+	}
+	b.pump()
+
+	// Malformed join round-1 from the advertised joiner: the controller
+	// must fail retryably.
+	ctl := nodes["A01"].mc
+	if _, _, err := ctl.StartJoin("j", "g-a", ringA, "J01"); err != nil {
+		t.Fatal(err)
+	}
+	garbage := wire.NewBuffer().PutString("j").PutUint(0).PutString("J01").Bytes()
+	_, evts := ctl.Step(netsim.Message{From: "J01", Type: engine.MsgJoin1, Payload: garbage})
+	assertRetryableFailure(t, "join", evts)
+
+	// Malformed merge advertisement from the peer controller: same.
+	if _, _, err := ctl.StartMerge("m", "g-a", ringA, ringB); err != nil {
+		t.Fatal(err)
+	}
+	garbage = wire.NewBuffer().PutString("m").PutUint(0).PutString("B01").Bytes()
+	_, evts = ctl.Step(netsim.Message{From: "B01", Type: engine.MsgMerge1, Payload: garbage})
+	assertRetryableFailure(t, "merge", evts)
+}
+
+func assertRetryableFailure(t *testing.T, what string, evts []engine.Event) {
+	t.Helper()
+	for _, ev := range evts {
+		if ev.Kind == engine.EventFailed {
+			if !ev.Retryable {
+				t.Fatalf("%s: parse failure not retryable: %v", what, ev.Err)
+			}
+			if !engine.IsRetryable(ev.Err) {
+				t.Fatalf("%s: error lost the retryable marker: %v", what, ev.Err)
+			}
+			return
+		}
+	}
+	t.Fatalf("%s: malformed message did not fail the flow", what)
+}

@@ -51,17 +51,15 @@ type Session struct {
 	outbox []Packet
 	done   bool
 	err    error
-	// Terminal results, cached when the flow commits so the machine-side
-	// per-session state can be released.
+	// Terminal results, cached when the flow commits.
 	key    []byte
 	roster []string
 }
 
-// NewSession starts the two-round authenticated establishment of the
-// paper's Section 4 as an event-driven session. roster is the ring order
-// (roster[0] is the trusted controller) and must contain this member; sid
-// names the session on the wire and must be shared by all participants.
-func (mb *Member) NewSession(sid string, roster []string) (*Session, error) {
+// newHandle registers a session handle and runs the flow's opening
+// transitions, unregistering again if the start is rejected.
+func (mb *Member) newHandle(sid string,
+	start func() ([]engine.Outbound, []engine.Event, error)) (*Session, error) {
 	if sid == "" {
 		return nil, errors.New("idgka: session id must be non-empty")
 	}
@@ -70,13 +68,109 @@ func (mb *Member) NewSession(sid string, roster []string) (*Session, error) {
 		mb.sessions = map[string]*Session{}
 	}
 	mb.sessions[sid] = s
-	outs, evts, err := mb.inner.Machine().StartInitial(sid, roster)
+	outs, evts, err := start()
 	if err != nil {
 		delete(mb.sessions, sid)
 		return nil, err
 	}
 	s.ingest(outs, evts)
 	return s, nil
+}
+
+// NewSession starts the two-round authenticated establishment of the
+// paper's Section 4 as an event-driven session. roster is the ring order
+// (roster[0] is the trusted controller) and must contain this member; sid
+// names the session on the wire and must be shared by all participants.
+//
+// The committed group stays registered under sid inside the member's
+// machine, so later dynamic sessions (JoinSession, LeaveSession,
+// MergeSession, ConfirmSession) can name it as their base. Call Close
+// once a group has been superseded or is no longer needed, so long-lived
+// members do not accumulate per-session state.
+func (mb *Member) NewSession(sid string, roster []string) (*Session, error) {
+	return mb.newHandle(sid, func() ([]engine.Outbound, []engine.Event, error) {
+		return mb.inner.Machine().StartInitial(sid, roster)
+	})
+}
+
+// JoinSession starts the paper's three-round Join protocol as an
+// event-driven session, admitting joiner into the group committed under
+// the base session. Every existing member starts the flow naming its
+// committed base session (oldRoster may be nil — it is then taken from
+// the base group's ring — or passed explicitly as a cross-check); the
+// joining node itself (mb.ID() == joiner) holds no base session, passes
+// base == "" and must supply the group's current ring via oldRoster. The
+// extended group commits under sid, which becomes a valid base for later
+// dynamic sessions.
+func (mb *Member) JoinSession(sid, base string, oldRoster []string, joiner string) (*Session, error) {
+	if mb.ID() != joiner {
+		// The base must be explicit: an empty base would fall back to the
+		// machine's most recently committed group — exactly the recency
+		// aliasing the per-session registry exists to prevent.
+		if base == "" {
+			return nil, errors.New("idgka: JoinSession needs a base session id (only the joiner passes an empty base)")
+		}
+		if oldRoster == nil {
+			g := mb.inner.Machine().Session(base)
+			if g == nil {
+				return nil, fmt.Errorf("idgka: no committed session %q to join onto", base)
+			}
+			oldRoster = append([]string(nil), g.Roster...)
+		}
+	}
+	return mb.newHandle(sid, func() ([]engine.Outbound, []engine.Event, error) {
+		return mb.inner.Machine().StartJoin(sid, base, oldRoster, joiner)
+	})
+}
+
+// LeaveSession starts the paper's two-round Leave/Partition protocol as
+// an event-driven session, evicting leavers from the group committed
+// under the base session. Every survivor starts the same flow with the
+// same leaver set; the contracted ring and the refresh set are derived
+// deterministically from the base group's state, so all survivors agree
+// without a coordinator. The re-keyed group commits under sid.
+func (mb *Member) LeaveSession(sid, base string, leavers []string) (*Session, error) {
+	if base == "" {
+		return nil, errors.New("idgka: LeaveSession needs a base session id")
+	}
+	g := mb.inner.Machine().Session(base)
+	if g == nil {
+		return nil, fmt.Errorf("idgka: no committed session %q to leave from", base)
+	}
+	newRoster, refresh, err := engine.PlanLeave(g, leavers)
+	if err != nil {
+		return nil, err
+	}
+	return mb.newHandle(sid, func() ([]engine.Outbound, []engine.Event, error) {
+		return mb.inner.Machine().StartPartition(sid, base, newRoster, refresh)
+	})
+}
+
+// MergeSession starts the paper's three-round Merge protocol as an
+// event-driven session, fusing the groups with rings rosterA and rosterB
+// into one keyed group with ring A‖B. Every member of both groups starts
+// the same flow with identical rosters, each naming its own ring's
+// committed session as base. The merged group commits under sid.
+func (mb *Member) MergeSession(sid, base string, rosterA, rosterB []string) (*Session, error) {
+	if base == "" {
+		return nil, errors.New("idgka: MergeSession needs a base session id")
+	}
+	return mb.newHandle(sid, func() ([]engine.Outbound, []engine.Event, error) {
+		return mb.inner.Machine().StartMerge(sid, base, rosterA, rosterB)
+	})
+}
+
+// ConfirmSession starts an explicit key-confirmation round over the
+// group committed under the base session: every member broadcasts
+// H(key ‖ id ‖ roster) and checks every peer's digest. On success the
+// handle's Key and Roster report the confirmed group.
+func (mb *Member) ConfirmSession(sid, base string) (*Session, error) {
+	if base == "" {
+		return nil, errors.New("idgka: ConfirmSession needs a base session id")
+	}
+	return mb.newHandle(sid, func() ([]engine.Outbound, []engine.Event, error) {
+		return mb.inner.Machine().StartConfirm(sid, base)
+	})
 }
 
 // ingest folds machine reactions into session state. Outbound packets go
@@ -100,15 +194,17 @@ func (s *Session) ingest(outs []engine.Outbound, evts []engine.Event) {
 		case engine.EventEstablished, engine.EventConfirmed:
 			target.done = true
 			if ev.Group != nil {
+				// Establishment commits ev.Group; confirmation carries the
+				// flow's snapshot of the confirmed group.
 				target.key = ev.Group.Key.Bytes()
 				target.roster = append([]string(nil), ev.Group.Roster...)
 			}
-			// Terminal: cache the results above, then release both the
-			// handle registry entry and the machine-side session state so
-			// long-lived members do not accumulate per-session groups.
+			// Terminal: cache the results above and drop the handle
+			// registry entry. The machine-side group stays registered
+			// under the sid — it is the base for later dynamic sessions —
+			// until the application calls Close.
 			// (The engine fires at most one terminal event per flow.)
 			delete(s.mb.sessions, target.sid)
-			s.mb.inner.Machine().Release(target.sid)
 		case engine.EventFailed:
 			// A failed flow is terminal too: Done must release the
 			// application's routing loop, with Err/Key telling success
@@ -162,8 +258,11 @@ func (s *Session) Roster() []string {
 
 // Close abandons a session that can no longer make progress (e.g. a peer
 // died mid-establishment and the application timed out): the in-flight
-// flow, its buffered traffic and the registry entry are discarded. Closing
-// a completed session is a no-op beyond state release.
+// flow, its buffered traffic and the registry entry are discarded. On a
+// completed session Close releases the machine-side group committed
+// under this sid — call it once the group has been superseded by a later
+// dynamic session (or is otherwise no longer needed), after which the
+// sid can no longer serve as a base.
 func (s *Session) Close() {
 	if !s.done {
 		s.done = true

@@ -117,6 +117,161 @@ func TestSessionValidation(t *testing.T) {
 	}
 }
 
+// TestSessionDynamicLifecycle drives the full dynamic-membership API
+// event-driven: establish, admit a joiner, confirm, evict a member —
+// every phase with application-owned routing and no lockstep helper.
+func TestSessionDynamicLifecycle(t *testing.T) {
+	auth, err := NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	roster := []string{"d-01", "d-02", "d-03"}
+	members := map[string]*Member{}
+	for _, id := range append(append([]string(nil), roster...), "d-04") {
+		if members[id], err = auth.NewMember(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Establish over the founders.
+	est := map[string]*Session{}
+	for _, id := range roster {
+		if est[id], err = members[id].NewSession("est", roster); err != nil {
+			t.Fatal(err)
+		}
+	}
+	routePackets(t, est)
+	key0 := est[roster[0]].Key()
+	if key0 == nil {
+		t.Fatal("establishment failed")
+	}
+
+	// Join: members derive the old ring from their base session (nil
+	// roster); the joiner supplies it explicitly.
+	join := map[string]*Session{}
+	for _, id := range roster {
+		if join[id], err = members[id].JoinSession("join", "est", nil, "d-04"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if join["d-04"], err = members["d-04"].JoinSession("join", "", roster, "d-04"); err != nil {
+		t.Fatal(err)
+	}
+	routePackets(t, join)
+	keyJ := join["d-04"].Key()
+	if keyJ == nil || bytes.Equal(keyJ, key0) {
+		t.Fatalf("join did not derive a fresh key")
+	}
+	for id, s := range join {
+		if !bytes.Equal(s.Key(), keyJ) {
+			t.Fatalf("%s disagrees on the post-join key", id)
+		}
+		if got := s.Roster(); len(got) != 4 || got[3] != "d-04" {
+			t.Fatalf("%s: post-join roster %v", id, got)
+		}
+	}
+
+	// Confirm the joined group; the handle reports the confirmed key.
+	cfm := map[string]*Session{}
+	for id := range join {
+		if cfm[id], err = members[id].ConfirmSession("cfm", "join"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	routePackets(t, cfm)
+	for id, s := range cfm {
+		if !s.Done() || s.Err() != nil {
+			t.Fatalf("%s: confirm done=%v err=%v", id, s.Done(), s.Err())
+		}
+		if !bytes.Equal(s.Key(), keyJ) {
+			t.Fatalf("%s: confirm reported a different key", id)
+		}
+	}
+
+	// Leave: d-02 is evicted; every survivor derives the contracted ring
+	// and refresh set locally from its base session.
+	leave := map[string]*Session{}
+	for _, id := range []string{"d-01", "d-03", "d-04"} {
+		if leave[id], err = members[id].LeaveSession("leave", "join", []string{"d-02"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	routePackets(t, leave)
+	keyL := leave["d-01"].Key()
+	if keyL == nil || bytes.Equal(keyL, keyJ) {
+		t.Fatal("leave did not derive a fresh key")
+	}
+	for id, s := range leave {
+		if !bytes.Equal(s.Key(), keyL) {
+			t.Fatalf("%s disagrees on the post-leave key", id)
+		}
+		for _, rid := range s.Roster() {
+			if rid == "d-02" {
+				t.Fatalf("%s still lists the evicted member", id)
+			}
+		}
+	}
+}
+
+// TestSessionMerge fuses two independently established groups through the
+// event-driven MergeSession API.
+func TestSessionMerge(t *testing.T) {
+	auth, err := NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringA := []string{"m-01", "m-02"}
+	ringB := []string{"m-03", "m-04", "m-05"}
+	members := map[string]*Member{}
+	for _, id := range append(append([]string(nil), ringA...), ringB...) {
+		if members[id], err = auth.NewMember(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	estA := map[string]*Session{}
+	for _, id := range ringA {
+		if estA[id], err = members[id].NewSession("est-a", ringA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	routePackets(t, estA)
+	estB := map[string]*Session{}
+	for _, id := range ringB {
+		if estB[id], err = members[id].NewSession("est-b", ringB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	routePackets(t, estB)
+
+	mrg := map[string]*Session{}
+	for _, id := range ringA {
+		if mrg[id], err = members[id].MergeSession("mrg", "est-a", ringA, ringB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range ringB {
+		if mrg[id], err = members[id].MergeSession("mrg", "est-b", ringA, ringB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	routePackets(t, mrg)
+	key := mrg["m-01"].Key()
+	if key == nil {
+		t.Fatal("merge failed")
+	}
+	if bytes.Equal(key, estA["m-01"].Key()) || bytes.Equal(key, estB["m-03"].Key()) {
+		t.Fatal("merge did not derive a fresh key")
+	}
+	for id, s := range mrg {
+		if !bytes.Equal(s.Key(), key) {
+			t.Fatalf("%s disagrees on the merged key", id)
+		}
+		if got := s.Roster(); len(got) != 5 || got[0] != "m-01" {
+			t.Fatalf("%s: merged roster %v", id, got)
+		}
+	}
+}
+
 // TestSessionCrossRouting: with two concurrent sessions per member, a
 // packet of session B fed through session A's handle must still complete
 // session B's handle — the wire envelope, not the handle, names the flow.
