@@ -1,0 +1,143 @@
+// Command benchgate is the CI bench-regression gate: it compares a fresh
+// `gkabench -accel -json` document against the committed baseline
+// (BENCH_BASELINE.json) and exits non-zero when any tracked op has
+// regressed beyond the allowed threshold.
+//
+//	benchgate -baseline BENCH_BASELINE.json -current bench.json
+//	benchgate ... -max-regress 0.25     # the default threshold
+//	benchgate ... -abs                  # additionally gate absolute ns
+//
+// The gated metric is each op's SPEEDUP ratio (serial ns / accelerated
+// ns): ratios measure what the acceleration layer delivers and are far
+// more stable across runner hardware than absolute nanoseconds, so the
+// gate does not flake when CI moves to a different machine class. An op
+// fails when
+//
+//	current.speedup < baseline.speedup × (1 - max-regress)
+//
+// and when a tracked op disappears from the current document (a silently
+// dropped benchmark is itself a regression). With -abs the accelerated
+// absolute time is gated by the same threshold — only meaningful when
+// baseline and current ran on comparable hardware.
+//
+// Intentional regressions (e.g. a correctness fix that costs speed) are
+// landed by either refreshing the baseline in the same PR or applying the
+// `bench-reset` override label/commit-message marker that CI honours; see
+// README.md "Performance".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"idgka/internal/experiments"
+)
+
+// benchDoc is the subset of the gkabench -json schema the gate reads.
+type benchDoc struct {
+	Schema     int                           `json:"schema"`
+	GoVersion  string                        `json:"go_version"`
+	GoMaxProcs int                           `json:"gomaxprocs"`
+	Parallel   int                           `json:"parallel"`
+	Ops        map[string]experiments.OpStat `json:"ops"`
+}
+
+func readDoc(path string) (benchDoc, error) {
+	var d benchDoc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return d, err
+	}
+	if err := json.Unmarshal(data, &d); err != nil {
+		return d, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+// gate compares the tracked ops and returns a rendered report plus the
+// list of failures (empty = pass).
+func gate(baseline, current benchDoc, maxRegress float64, abs bool) (string, []string) {
+	var failures []string
+	if len(baseline.Ops) == 0 {
+		failures = append(failures, "baseline document tracks no ops (regenerate it with `gkabench -accel -json`)")
+	}
+	names := make([]string, 0, len(baseline.Ops))
+	for name := range baseline.Ops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	out := fmt.Sprintf("bench gate: baseline %d-proc/%d-worker vs current %d-proc/%d-worker, max regression %.0f%%\n",
+		baseline.GoMaxProcs, baseline.Parallel, current.GoMaxProcs, current.Parallel, maxRegress*100)
+	for _, name := range names {
+		base := baseline.Ops[name]
+		cur, ok := current.Ops[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: tracked op missing from current run", name))
+			out += fmt.Sprintf("  FAIL %-26s missing from current run\n", name)
+			continue
+		}
+		floor := base.Speedup * (1 - maxRegress)
+		status := "ok  "
+		switch {
+		case cur.Speedup < floor:
+			status = "FAIL"
+			failures = append(failures,
+				fmt.Sprintf("%s: speedup %.2fx below allowed floor %.2fx (baseline %.2fx)",
+					name, cur.Speedup, floor, base.Speedup))
+		case abs && cur.AccelNS > base.AccelNS*(1+maxRegress):
+			status = "FAIL"
+			failures = append(failures,
+				fmt.Sprintf("%s: accelerated time %.0fns above allowed ceiling %.0fns (baseline %.0fns)",
+					name, cur.AccelNS, base.AccelNS*(1+maxRegress), base.AccelNS))
+		}
+		out += fmt.Sprintf("  %s %-26s speedup %.2fx (baseline %.2fx, floor %.2fx)\n",
+			status, name, cur.Speedup, base.Speedup, floor)
+	}
+	for name := range current.Ops {
+		if _, ok := baseline.Ops[name]; !ok {
+			out += fmt.Sprintf("  new  %-26s speedup %.2fx (not in baseline yet)\n", name, current.Ops[name].Speedup)
+		}
+	}
+	return out, failures
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgate: ")
+	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "committed baseline document")
+	currentPath := flag.String("current", "", "fresh gkabench -json document to gate")
+	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional speedup regression per op")
+	abs := flag.Bool("abs", false, "also gate absolute accelerated ns (same-machine comparisons only)")
+	flag.Parse()
+	if *currentPath == "" {
+		log.Fatal("-current is required")
+	}
+	if *maxRegress < 0 || *maxRegress >= 1 {
+		log.Fatal("-max-regress must be in [0, 1)")
+	}
+	baseline, err := readDoc(*baselinePath)
+	if err != nil {
+		log.Fatalf("baseline: %v", err)
+	}
+	current, err := readDoc(*currentPath)
+	if err != nil {
+		log.Fatalf("current: %v", err)
+	}
+	report, failures := gate(baseline, current, *maxRegress, *abs)
+	fmt.Print(report)
+	if len(failures) > 0 {
+		fmt.Println("\nbench gate FAILED:")
+		for _, f := range failures {
+			fmt.Printf("  - %s\n", f)
+		}
+		fmt.Println("\nIf the regression is intentional, refresh BENCH_BASELINE.json from a CI run artifact")
+		fmt.Println("or land the change with the `bench-reset` override (see README.md \"Performance\").")
+		os.Exit(1)
+	}
+	fmt.Println("bench gate passed")
+}

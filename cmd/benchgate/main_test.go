@@ -1,0 +1,94 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"idgka/internal/experiments"
+)
+
+func docWith(ops map[string]experiments.OpStat) benchDoc {
+	return benchDoc{Schema: 2, GoMaxProcs: 4, Parallel: 4, Ops: ops}
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	baseline := docWith(map[string]experiments.OpStat{
+		"a": {SerialNS: 100, AccelNS: 25, Speedup: 4.0},
+		"b": {SerialNS: 100, AccelNS: 50, Speedup: 2.0},
+	})
+	current := docWith(map[string]experiments.OpStat{
+		"a": {SerialNS: 100, AccelNS: 30, Speedup: 3.3}, // -17.5%: within 25%
+		"b": {SerialNS: 100, AccelNS: 40, Speedup: 2.5}, // improvement
+	})
+	report, failures := gate(baseline, current, 0.25, false)
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v\n%s", failures, report)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	baseline := docWith(map[string]experiments.OpStat{
+		"a": {SerialNS: 100, AccelNS: 25, Speedup: 4.0},
+	})
+	current := docWith(map[string]experiments.OpStat{
+		"a": {SerialNS: 100, AccelNS: 40, Speedup: 2.5}, // -37.5%: beyond 25%
+	})
+	report, failures := gate(baseline, current, 0.25, false)
+	if len(failures) != 1 {
+		t.Fatalf("want 1 failure, got %v\n%s", failures, report)
+	}
+	if !strings.Contains(failures[0], "a:") {
+		t.Fatalf("failure does not name the op: %q", failures[0])
+	}
+}
+
+func TestGateFailsOnMissingOp(t *testing.T) {
+	baseline := docWith(map[string]experiments.OpStat{
+		"a": {Speedup: 4.0},
+		"b": {Speedup: 2.0},
+	})
+	current := docWith(map[string]experiments.OpStat{
+		"a": {Speedup: 4.0},
+	})
+	_, failures := gate(baseline, current, 0.25, false)
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing") {
+		t.Fatalf("dropped op not flagged: %v", failures)
+	}
+}
+
+func TestGateFailsOnEmptyBaseline(t *testing.T) {
+	_, failures := gate(docWith(nil), docWith(nil), 0.25, false)
+	if len(failures) == 0 {
+		t.Fatal("empty baseline passed")
+	}
+}
+
+func TestGateNewOpsAreInformational(t *testing.T) {
+	baseline := docWith(map[string]experiments.OpStat{"a": {Speedup: 3.0}})
+	current := docWith(map[string]experiments.OpStat{
+		"a": {Speedup: 3.0},
+		"c": {Speedup: 1.1},
+	})
+	report, failures := gate(baseline, current, 0.25, false)
+	if len(failures) != 0 {
+		t.Fatalf("new op caused failure: %v", failures)
+	}
+	if !strings.Contains(report, "new") {
+		t.Fatalf("new op not reported:\n%s", report)
+	}
+}
+
+func TestGateAbsMode(t *testing.T) {
+	baseline := docWith(map[string]experiments.OpStat{
+		"a": {SerialNS: 100, AccelNS: 25, Speedup: 4.0},
+	})
+	current := docWith(map[string]experiments.OpStat{
+		"a": {SerialNS: 160, AccelNS: 40, Speedup: 4.0}, // ratio held, abs +60%
+	})
+	if _, failures := gate(baseline, current, 0.25, false); len(failures) != 0 {
+		t.Fatalf("ratio-only mode should pass: %v", failures)
+	}
+	if _, failures := gate(baseline, current, 0.25, true); len(failures) != 1 {
+		t.Fatalf("abs mode should fail: %v", failures)
+	}
+}

@@ -9,11 +9,16 @@
 //	gkabench -table 4 -n 100 -m 20 -ld 20
 //	gkabench -table 5 -n 100 -m 20 -ld 20   # the paper's exact setting
 //	gkabench -figure 1 -measured 50    # measure counters up to n=50
+//	gkabench -accel -parallel 4        # acceleration-layer benchmark, 4 workers
 //
-// With -json the command emits one JSON document on stdout: the run
-// parameters plus, per regenerated artifact, its name, wall-clock cost
-// and rendered output — so benchmark trajectories (BENCH_*.json) can be
-// captured mechanically across revisions and diffed.
+// With -json the command emits one JSON document on stdout: the runner
+// fingerprint (GOMAXPROCS, Go version, -parallel), the run parameters
+// and, per regenerated artifact, its name, wall-clock cost and rendered
+// output — so benchmark trajectories (BENCH_*.json) can be captured
+// mechanically across revisions and diffed. The -accel artifact
+// additionally emits per-op serial/accelerated timings whose speedup
+// ratios cmd/benchgate compares against the committed BENCH_BASELINE.json
+// in CI.
 //
 // Tables 4 and 5 at the paper's n=100 execute tens of thousands of real
 // signature verifications for the BD baseline and take a minute or two;
@@ -27,6 +32,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"idgka/internal/analytic"
@@ -40,11 +46,20 @@ type record struct {
 	Output    string  `json:"output"`
 }
 
-// document is the top-level -json payload.
+// document is the top-level -json payload. Schema 2 adds the runner
+// fingerprint (GOMAXPROCS, Go version, the -parallel setting) and the
+// tracked-op map of the acceleration benchmark, which the CI
+// bench-regression gate (cmd/benchgate) compares against the committed
+// BENCH_BASELINE.json.
 type document struct {
-	Params  map[string]int `json:"params"`
-	Results []record       `json:"results"`
-	TotalMS float64        `json:"total_ms"`
+	Schema     int                           `json:"schema"`
+	GoVersion  string                        `json:"go_version"`
+	GoMaxProcs int                           `json:"gomaxprocs"`
+	Parallel   int                           `json:"parallel"`
+	Params     map[string]int                `json:"params"`
+	Results    []record                      `json:"results"`
+	Ops        map[string]experiments.OpStat `json:"ops,omitempty"`
+	TotalMS    float64                       `json:"total_ms"`
 }
 
 func main() {
@@ -58,21 +73,33 @@ func main() {
 	ld := flag.Int("ld", 20, "leaving/partitioned users")
 	measured := flag.Int("measured", 10, "largest n measured (not extrapolated) in Figure 1")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
+	accel := flag.Bool("accel", false, "run the crypto acceleration-layer benchmark (tracked by the CI bench gate)")
+	parallel := flag.Int("parallel", 0, "worker-pool size for accelerated runs (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit results as a JSON document on stdout")
 	flag.Parse()
 
-	if !*all && *table == 0 && *figure == 0 && !*ablations {
+	if !*all && *table == 0 && *figure == 0 && !*ablations && !*accel {
 		flag.Usage()
 		os.Exit(2)
+	}
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 
 	env, err := experiments.NewEnv()
 	if err != nil {
 		log.Fatalf("environment: %v", err)
 	}
-	doc := document{Params: map[string]int{
-		"n": *n, "m": *m, "ld": *ld, "measured": *measured,
-	}}
+	doc := document{
+		Schema:     2,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Parallel:   workers,
+		Params: map[string]int{
+			"n": *n, "m": *m, "ld": *ld, "measured": *measured,
+		},
+	}
 	begin := time.Now()
 	run := func(name string, f func() (string, error)) {
 		start := time.Now()
@@ -110,6 +137,16 @@ func main() {
 	if *all || *table == 5 {
 		run("Table 5", func() (string, error) {
 			return env.Table5(analytic.Table5Params{N: *n, M: *m, Ld: *ld})
+		})
+	}
+	if *all || *accel {
+		run(fmt.Sprintf("Acceleration layer (n=%d)", experiments.AccelGroupSize), func() (string, error) {
+			out, ops, err := env.AccelBench(experiments.AccelGroupSize, workers)
+			if err != nil {
+				return "", err
+			}
+			doc.Ops = ops
+			return out, nil
 		})
 	}
 	if *all || *ablations {

@@ -21,6 +21,7 @@
 //     gkanet -dynamic=false -n 5  # establishment + confirmation only
 //     gkanet -mode lockstep -n 5  # the legacy lockstep orchestrator
 //     gkanet -listen :7777        # choose the hub port
+//     gkanet -precompute -workers 4  # crypto acceleration (tables + pool)
 package main
 
 import (
@@ -47,6 +48,8 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "hub listen address")
 	mode := flag.String("mode", "event", "execution mode: event (per-node state machines) or lockstep (driver)")
 	dynamic := flag.Bool("dynamic", true, "event mode: admit one joiner and evict one member after establishment")
+	precompute := flag.Bool("precompute", false, "build fixed-base tables for the generator and identity keys")
+	workers := flag.Int("workers", 0, "per-node verification worker pool size (0 or 1 = sequential)")
 	flag.Parse()
 	if *n < 2 {
 		log.Fatal("-n must be >= 2")
@@ -66,7 +69,10 @@ func main() {
 	defer router.Close()
 
 	set := params.Default()
-	cfg := engine.Config{Set: set.Public()}
+	cfg := engine.Config{Set: set.Public(), Accel: engine.AccelConfig{
+		Precompute:    *precompute,
+		VerifyWorkers: *workers,
+	}}
 	total := *n
 	if *mode == "event" && *dynamic {
 		total = *n + 1 // the node admitted by the Join demo

@@ -71,6 +71,7 @@ import (
 
 	"idgka/internal/core"
 	"idgka/internal/energy"
+	"idgka/internal/engine"
 	"idgka/internal/meter"
 	"idgka/internal/netsim"
 	"idgka/internal/params"
@@ -96,6 +97,18 @@ type Config struct {
 	// commitments instead of reusing them as the paper (unsafely)
 	// specifies.
 	StrictNonceRefresh bool
+	// Precompute builds fixed-base tables for the group generator and the
+	// member's identity key at creation, accelerating every keying round.
+	// Mathematically transparent: keys, traffic and operation meters are
+	// unchanged. The generator table attaches to the process-shared
+	// parameter set, so once any member precomputes, every member of the
+	// process gets the (bit-identical, faster) table path for g^x; the
+	// identity-key table is per member.
+	Precompute bool
+	// VerifyWorkers bounds the worker pool that verifies independent
+	// incoming contributions concurrently (0 or 1 = sequential, the
+	// paper-exact path).
+	VerifyWorkers int
 }
 
 // Authority is the paper's PKG: it owns the system parameters and master
@@ -160,6 +173,10 @@ func (a *Authority) NewMemberWithConfig(id string, cfg Config) (*Member, error) 
 		Rand:               cfg.Rand,
 		MaxRetries:         cfg.MaxRetries,
 		StrictNonceRefresh: cfg.StrictNonceRefresh,
+		Accel: engine.AccelConfig{
+			Precompute:    cfg.Precompute,
+			VerifyWorkers: cfg.VerifyWorkers,
+		},
 	}, sk, m)
 	if err != nil {
 		return nil, err

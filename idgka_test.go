@@ -192,3 +192,43 @@ func TestStrictConfigMember(t *testing.T) {
 		t.Fatalf("strict leave: %v", err)
 	}
 }
+
+// TestAcceleratedConfigMember checks the public acceleration knobs plumb
+// through to the engine: a mixed group of accelerated and plain members
+// establishes, re-keys and agrees (acceleration is mathematically
+// transparent — and the shared generator table means plain members in
+// the same process silently gain the faster-but-identical g^x path).
+func TestAcceleratedConfigMember(t *testing.T) {
+	auth, err := NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewNetwork()
+	var members []*Member
+	for i := 0; i < 4; i++ {
+		cfg := Config{}
+		if i%2 == 0 {
+			cfg = Config{Precompute: true, VerifyWorkers: 4}
+		}
+		mb, err := auth.NewMemberWithConfig(fmt.Sprintf("x%d", i), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Attach(mb); err != nil {
+			t.Fatal(err)
+		}
+		members = append(members, mb)
+	}
+	if err := Establish(net, members); err != nil {
+		t.Fatal(err)
+	}
+	key := members[0].GroupKey()
+	for _, mb := range members[1:] {
+		if !bytes.Equal(mb.GroupKey(), key) {
+			t.Fatalf("%s disagrees on the key", mb.ID())
+		}
+	}
+	if err := Leave(net, members, "x1"); err != nil {
+		t.Fatalf("accelerated leave: %v", err)
+	}
+}

@@ -70,6 +70,37 @@ func Key(i int, r, zPrev *big.Int, xs []*big.Int, m *big.Int) (*big.Int, error) 
 	return k, nil
 }
 
+// KeyMultiExp computes exactly the same group key as Key, folding the
+// n-1 small-exponent factors X_{i+j}^{n-1-j} into one interleaved
+// multi-exponentiation (their exponents are bounded by the ring size, so
+// the shared squaring chain is only ~log2(n) deep). The dominant
+// z_{i-1}^{n·r_i} term keeps the library exponentiation, which is faster
+// for full-width exponents. Part of the acceleration layer; the result
+// is bit-identical to Key.
+func KeyMultiExp(i int, r, zPrev *big.Int, xs []*big.Int, m *big.Int) (*big.Int, error) {
+	n := len(xs)
+	if n == 0 {
+		return nil, errors.New("bdkey: empty ring")
+	}
+	if i < 0 || i >= n {
+		return nil, fmt.Errorf("bdkey: index %d out of ring of %d", i, n)
+	}
+	e := new(big.Int).Mul(big.NewInt(int64(n)), r)
+	k := new(big.Int).Exp(zPrev, e, m)
+	bases := make([]*big.Int, 0, n-1)
+	exps := make([]*big.Int, 0, n-1)
+	for j := 0; j < n-1; j++ {
+		bases = append(bases, xs[(i+j)%n])
+		exps = append(exps, big.NewInt(int64(n-1-j)))
+	}
+	chain, err := mathx.MultiExp(bases, exps, m)
+	if err != nil {
+		return nil, err
+	}
+	k.Mul(k, chain)
+	return k.Mod(k, m), nil
+}
+
 // DirectKey computes g^{Σ r_j r_{j+1}} from all ring exponents — the
 // white-box reference used by tests to validate Key against the paper's
 // equation (3). Never used by the protocols themselves.

@@ -108,3 +108,36 @@ func BenchmarkKeyN100(b *testing.B) {
 		}
 	}
 }
+
+// TestKeyMultiExpMatchesKey cross-checks the multi-exponentiation fast
+// path against the straight-line key computation for several ring sizes.
+func TestKeyMultiExpMatchesKey(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 16} {
+		rs, zs, xs, g := buildRing(t, n)
+		for i := 0; i < n; i++ {
+			zPrev := zs[(i-1+n)%n]
+			want, err := Key(i, rs[i], zPrev, xs, g.P)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := KeyMultiExp(i, rs[i], zPrev, xs, g.P)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Cmp(want) != 0 {
+				t.Fatalf("n=%d member %d: KeyMultiExp diverges from Key", n, i)
+			}
+		}
+	}
+}
+
+// TestKeyMultiExpRejectsBadInputs mirrors Key's error contract.
+func TestKeyMultiExpRejectsBadInputs(t *testing.T) {
+	rs, zs, xs, g := buildRing(t, 3)
+	if _, err := KeyMultiExp(0, rs[0], zs[2], nil, g.P); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := KeyMultiExp(3, rs[0], zs[2], xs, g.P); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package ec
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+// TestScalarBaseMultPrecomputeTransparent cross-checks the fixed-base
+// table against the naive double-and-add on random and edge scalars.
+func TestScalarBaseMultPrecomputeTransparent(t *testing.T) {
+	for _, c := range []*Curve{Secp160r1(), P256()} {
+		scalars := []*big.Int{
+			big.NewInt(0),
+			big.NewInt(1),
+			big.NewInt(2),
+			new(big.Int).Sub(c.N, big.NewInt(1)),
+			c.N,
+			new(big.Int).Add(c.N, big.NewInt(5)), // reduced before lookup
+			new(big.Int).Neg(big.NewInt(3)),      // negative: reduces mod N
+		}
+		for i := 0; i < 12; i++ {
+			k, err := c.RandScalar(rand.Reader)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scalars = append(scalars, k)
+		}
+		naive := make([]Point, len(scalars))
+		for i, k := range scalars {
+			naive[i] = c.ScalarMult(c.Generator(), k)
+		}
+		c.Precompute()
+		if c.fixedBase.Load() == nil {
+			t.Fatalf("%s: no table after Precompute", c.Name)
+		}
+		c.Precompute() // idempotent
+		for i, k := range scalars {
+			got := c.ScalarBaseMult(k)
+			if !got.Equal(naive[i]) {
+				t.Fatalf("%s: table ScalarBaseMult diverges for k=%v", c.Name, k)
+			}
+			if !c.IsOnCurve(got) {
+				t.Fatalf("%s: table result off-curve for k=%v", c.Name, k)
+			}
+		}
+	}
+}
+
+func BenchmarkScalarBaseMultNaive(b *testing.B) {
+	c := Secp160r1()
+	k, _ := c.RandScalar(rand.Reader)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ScalarMult(c.Generator(), k)
+	}
+}
+
+func BenchmarkScalarBaseMultFixedBase(b *testing.B) {
+	c := Secp160r1()
+	c.Precompute()
+	k, _ := c.RandScalar(rand.Reader)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ScalarBaseMult(k)
+	}
+}

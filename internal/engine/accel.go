@@ -1,0 +1,113 @@
+package engine
+
+import "sync"
+
+// AccelConfig tunes the crypto acceleration layer under a machine's hot
+// path. The zero value disables everything, which keeps the engine's
+// operation sequence — and therefore the lockstep drivers' byte/op
+// accounting — exactly as the paper reproduction requires. Acceleration
+// never changes protocol values: payloads, keys and verdicts are
+// bit-identical with any combination of knobs.
+type AccelConfig struct {
+	// Precompute builds windowed fixed-base tables at machine creation —
+	// for the Schnorr generator (every z_i = g^r broadcast) and the
+	// member's GQ identity key (every response s_i = τ·S^c) — and enables
+	// the multi-exponentiation fast path in the Burmester-Desmedt key
+	// assembly. Tables attach to the shared parameter set, so the one-off
+	// build cost is amortised across all members of a process.
+	Precompute bool
+	// VerifyWorkers bounds the worker pool that processes independent
+	// incoming contributions concurrently: the batch-verification
+	// products chunk across peers, and the finish-phase checks
+	// (signature batch, Lemma 1, key computation) run as parallel tasks.
+	// 0 or 1 selects the exact sequential path.
+	VerifyWorkers int
+}
+
+// pool is a bounded worker pool for independent verification tasks. A nil
+// *pool runs tasks sequentially with fail-fast semantics — the exact
+// legacy control flow — so call sites never branch on the accel mode.
+type pool struct {
+	workers int
+	sem     chan struct{}
+}
+
+// newPool returns nil (sequential execution) unless workers > 1.
+func newPool(workers int) *pool {
+	if workers <= 1 {
+		return nil
+	}
+	return &pool{workers: workers, sem: make(chan struct{}, workers)}
+}
+
+// size returns the pool's parallelism, 1 for the sequential path.
+func (p *pool) size() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// share returns the worker budget for parallelism nested inside the ONE
+// fanning-out task of `tasks` concurrent Run tasks: the straight-line
+// siblings each occupy a slot, and the remainder goes to the task that
+// spawns helpers (chunked products, identity hashing), keeping the
+// machine's total concurrency at ~VerifyWorkers rather than multiplying
+// budgets. When several siblings nest parallelism, use split instead.
+func (p *pool) share(tasks int) int {
+	if p == nil {
+		return 1
+	}
+	w := p.workers - (tasks - 1)
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// split divides the worker budget evenly across `tasks` concurrent Run
+// tasks that EACH nest their own helper goroutines.
+func (p *pool) split(tasks int) int {
+	if p == nil {
+		return 1
+	}
+	w := p.workers / tasks
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// Run executes the tasks. Sequentially (nil pool) it stops at the first
+// error, exactly like straight-line code. On an active pool every task
+// runs to completion on at most `workers` goroutines and the error of the
+// lowest-indexed failing task is returned, so the surfaced failure is
+// deterministic regardless of scheduling.
+func (p *pool) Run(tasks ...func() error) error {
+	if p == nil || len(tasks) < 2 {
+		for _, t := range tasks {
+			if err := t(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(tasks))
+	var wg sync.WaitGroup
+	for i, t := range tasks {
+		p.sem <- struct{}{}
+		wg.Add(1)
+		go func(i int, t func() error) {
+			defer wg.Done()
+			defer func() { <-p.sem }()
+			errs[i] = t()
+		}(i, t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

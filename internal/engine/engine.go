@@ -97,6 +97,10 @@ type Config struct {
 	// security weakness (two GQ responses under one commitment leak the
 	// long-term key); see DESIGN.md §4. Off by default for paper fidelity.
 	StrictNonceRefresh bool
+	// Accel tunes the crypto acceleration layer (fixed-base
+	// precomputation, multi-exponentiation, parallel verification). The
+	// zero value keeps the exact sequential paper-reproduction path.
+	Accel AccelConfig
 }
 
 func (c Config) rand() io.Reader {
@@ -221,6 +225,10 @@ type Machine struct {
 	sk  *gq.PrivateKey
 	m   *meter.Meter
 
+	// pool runs independent verification work concurrently when
+	// cfg.Accel.VerifyWorkers > 1; nil selects the exact sequential path.
+	pool *pool
+
 	// group is the most recently committed group view (nil before the
 	// first establishment). Lockstep drivers and single-group applications
 	// read it directly; multi-session applications use Session(sid).
@@ -258,11 +266,20 @@ func NewMachine(cfg Config, sk *gq.PrivateKey, m *meter.Meter) (*Machine, error)
 	if sk == nil {
 		return nil, errors.New("engine: nil identity key")
 	}
+	if cfg.Accel.Precompute {
+		// Attach the fixed-base tables before the machine serves traffic.
+		// Both calls are idempotent and race-safe: the group table lives
+		// on the (process-shared) parameter set, the response table on
+		// this member's identity key.
+		cfg.Set.Schnorr.Precompute()
+		sk.Precompute()
+	}
 	return &Machine{
 		cfg:      cfg,
 		id:       sk.ID,
 		sk:       sk,
 		m:        m,
+		pool:     newPool(cfg.Accel.VerifyWorkers),
 		flows:    map[string]*runningFlow{},
 		sessions: map[string]*Group{},
 		finished: map[string]uint64{},

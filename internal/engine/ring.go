@@ -101,15 +101,27 @@ func (rs *ringState) round2Payload(mc *Machine) ([]byte, error) {
 	}
 	mc.m.Exp(1)
 
-	// Z = Π z_i mod p, T = Π t_i mod n, c = H(T, Z).
+	// Z = Π z_i mod p, T = Π t_i mod n, c = H(T, Z). The two products
+	// range over independent per-peer contributions, so the worker pool
+	// computes them concurrently (and chunks each across peers for large
+	// rings); the sequential path is the exact legacy order.
 	zs := make([]*big.Int, 0, n)
 	ts := make([]*big.Int, 0, n)
 	for _, id := range rs.roster {
 		zs = append(zs, rs.z[id])
 		ts = append(ts, rs.t[id])
 	}
-	rs.bigZ = mathx.ProductMod(zs, sg.P)
-	bigT := mathx.ProductMod(ts, mc.cfg.Set.RSA.N)
+	var bigT *big.Int
+	_ = mc.pool.Run(
+		func() error {
+			rs.bigZ = mathx.ProductModParallel(zs, sg.P, mc.pool.split(2))
+			return nil
+		},
+		func() error {
+			bigT = mathx.ProductModParallel(ts, mc.cfg.Set.RSA.N, mc.pool.split(2))
+			return nil
+		},
+	)
 	rs.c = gq.GroupChallenge(bigT, rs.bigZ)
 	s := mc.sk.Respond(rs.tau, rs.c)
 	mc.m.SignGen(meter.SchemeGQ, 1)
@@ -123,37 +135,65 @@ func (rs *ringState) round2Payload(mc *Machine) ([]byte, error) {
 // verification of all GQ responses (equation 2), the Lemma-1 product check
 // on the X values, and the BD key computation (equation 3), returning the
 // committed group view.
+//
+// The three checks consume disjoint inputs (s values; X values; z/X
+// values), so with an active worker pool they run as concurrent tasks and
+// the batch-verification products chunk across peers. Sequentially the
+// tasks run in the exact legacy order with fail-fast semantics, keeping
+// the lockstep drivers' operation accounting bit-identical; in parallel
+// mode a failing check no longer short-circuits its siblings, so the
+// failure path may charge the key-computation Exp that the sequential
+// path skips (values and verdicts are unaffected).
 func (rs *ringState) finish(mc *Machine) (*Group, error) {
 	sg := mc.cfg.Set.Schnorr
 	n := rs.n()
 
-	// Equation (2): c == H((Πs_i)^e · (ΠH(U_i))^{-c}, Z).
 	responses := make([]*big.Int, 0, n)
 	for _, id := range rs.roster {
 		responses = append(responses, rs.s[id])
 	}
-	if err := gq.BatchVerify(gq.ParamsFrom(mc.cfg.Set.RSA), rs.roster, responses, rs.c, rs.bigZ); err != nil {
-		mc.m.SignVer(meter.SchemeGQ, 1)
-		return nil, Retryable(err)
-	}
-	mc.m.SignVer(meter.SchemeGQ, 1)
-
-	// Lemma 1: Π X_i ≡ 1 (mod p).
 	xsOrdered := make([]*big.Int, n)
 	for i, id := range rs.roster {
 		xsOrdered[i] = rs.x[id]
 	}
-	if err := bdkey.CheckLemma1(xsOrdered, sg.P); err != nil {
-		return nil, Retryable(err)
-	}
-
-	// Equation (3): the shared key.
 	zPrev := rs.z[rs.roster[(rs.self-1+n)%n]]
-	key, err := bdkey.Key(rs.self, rs.r, zPrev, xsOrdered, sg.P)
+
+	var key *big.Int
+	err := mc.pool.Run(
+		// Equation (2): c == H((Πs_i)^e · (ΠH(U_i))^{-c}, Z).
+		func() error {
+			err := gq.BatchVerifyWorkers(gq.ParamsFrom(mc.cfg.Set.RSA), rs.roster, responses, rs.c, rs.bigZ, mc.pool.share(3))
+			mc.m.SignVer(meter.SchemeGQ, 1)
+			if err != nil {
+				return Retryable(err)
+			}
+			return nil
+		},
+		// Lemma 1: Π X_i ≡ 1 (mod p).
+		func() error {
+			if err := bdkey.CheckLemma1(xsOrdered, sg.P); err != nil {
+				return Retryable(err)
+			}
+			return nil
+		},
+		// Equation (3): the shared key.
+		func() error {
+			var err error
+			if mc.cfg.Accel.Precompute {
+				key, err = bdkey.KeyMultiExp(rs.self, rs.r, zPrev, xsOrdered, sg.P)
+			} else {
+				key, err = bdkey.Key(rs.self, rs.r, zPrev, xsOrdered, sg.P)
+			}
+			if err != nil {
+				return err
+			}
+			mc.m.Exp(1)
+			return nil
+		},
+	)
 	if err != nil {
 		return nil, err
 	}
-	mc.m.Exp(1)
 
 	g := NewGroup(rs.roster)
 	g.R = rs.r

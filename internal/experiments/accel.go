@@ -1,0 +1,385 @@
+package experiments
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+	"strings"
+	"sync"
+	"time"
+
+	"idgka/internal/bdkey"
+	"idgka/internal/ec"
+	"idgka/internal/mathx"
+	"idgka/internal/pairing"
+	"idgka/internal/sigs/gq"
+)
+
+// OpStat is one tracked operation of the acceleration benchmark: the
+// serial (naive) and accelerated per-op costs plus their ratio. The CI
+// bench-regression gate compares Speedup values against the committed
+// baseline — ratios are far more stable across runner hardware than
+// absolute nanoseconds.
+type OpStat struct {
+	SerialNS float64 `json:"serial_ns"`
+	AccelNS  float64 `json:"accel_ns"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// AccelGroupSize is the group size of the headline measurement: the
+// initial-flow key computation for a 16-member ring, the acceptance
+// benchmark of the acceleration layer (target: >= 2x with precomputation
+// and a 4-worker pool).
+const AccelGroupSize = 16
+
+// accelBatchSize is the batch size of the gq/batch-verify row. It must
+// exceed mathx's chunked-product threshold (32), otherwise the
+// "accelerated" side would silently run the serial product path and the
+// CI gate row could never catch a parallelism regression.
+const accelBatchSize = 64
+
+// measure times one operation: it warms once, then takes the MINIMUM
+// per-op time over several sampling rounds. The minimum is the stable
+// statistic under scheduler noise (interruptions only ever inflate a
+// round), which keeps the CI gate's speedup ratios reproducible across
+// runs on the same hardware.
+func measure(f func()) float64 {
+	const (
+		rounds      = 5
+		roundSample = 30 * time.Millisecond
+		maxIters    = 2048
+	)
+	f() // warm-up (first big.Int allocations, table lookups into cache)
+	best := 0.0
+	for r := 0; r < rounds; r++ {
+		iters := 0
+		start := time.Now()
+		for time.Since(start) < roundSample && iters < maxIters {
+			f()
+			iters++
+		}
+		perOp := float64(time.Since(start).Nanoseconds()) / float64(iters)
+		if best == 0 || perOp < best {
+			best = perOp
+		}
+	}
+	return best
+}
+
+// AccelBench measures the crypto acceleration layer op by op: windowed
+// fixed-base exponentiation, precomputed GQ responses, the
+// multi-exponentiation key assembly, worker-pool batch verification, and
+// the fixed-base scalar multiplications of the EC and pairing substrates.
+// The headline row runs the member-side key computation of the initial
+// flow — every member's blinded exponent z_i = g^{r_i}, GQ commitment
+// t_i = τ^e and authenticated response s_i = τ·S^c, plus the
+// Burmester-Desmedt small-exponent key assembly — for an n-member group,
+// serial/naive versus precomputed tables with the contributions spread
+// over `workers` goroutines. Returns the rendered table and the tracked
+// op map for the -json document.
+func (e *Env) AccelBench(n, workers int) (string, map[string]OpStat, error) {
+	if n < 2 {
+		return "", nil, fmt.Errorf("experiments: accel bench needs n >= 2, got %d", n)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	sg := e.Set.Schnorr
+	ops := map[string]OpStat{}
+	add := func(name string, serial, accel float64) {
+		ops[name] = OpStat{SerialNS: serial, AccelNS: accel, Speedup: serial / accel}
+	}
+
+	// --- substrate ops -------------------------------------------------
+
+	// Windowed fixed-base exponentiation in the Schnorr group.
+	gTab := sg.Precompute()
+	if gTab == nil {
+		return "", nil, fmt.Errorf("experiments: Schnorr precompute failed")
+	}
+	r0, err := mathx.RandScalar(rand.Reader, sg.Q)
+	if err != nil {
+		return "", nil, err
+	}
+	add("schnorr/fixed-base-exp",
+		measure(func() { new(big.Int).Exp(sg.G, r0, sg.P) }),
+		measure(func() { gTab.Exp(r0) }))
+
+	// Precomputed GQ response s = τ·S^c.
+	skSerial, err := e.PKG.ExtractGQ("accel-serial")
+	if err != nil {
+		return "", nil, err
+	}
+	skAccel, err := e.PKG.ExtractGQ("accel-fast")
+	if err != nil {
+		return "", nil, err
+	}
+	skAccel.Precompute()
+	tau, _, err := gq.Commitment(rand.Reader, skSerial.Pub)
+	if err != nil {
+		return "", nil, err
+	}
+	c0, err := mathx.RandInt(rand.Reader, new(big.Int).Lsh(mathx.One, 160))
+	if err != nil {
+		return "", nil, err
+	}
+	add("gq/respond",
+		measure(func() { skSerial.Respond(tau, c0) }),
+		measure(func() { skAccel.Respond(tau, c0) }))
+
+	// Burmester-Desmedt key assembly via multi-exponentiation.
+	ring := buildAccelRing(sg, n)
+	add("bd/key-assembly",
+		measure(func() {
+			if _, err := bdkey.Key(0, ring.rs[0], ring.zs[n-1], ring.xs, sg.P); err != nil {
+				panic(err)
+			}
+		}),
+		measure(func() {
+			if _, err := bdkey.KeyMultiExp(0, ring.rs[0], ring.zs[n-1], ring.xs, sg.P); err != nil {
+				panic(err)
+			}
+		}))
+
+	// Worker-pool batch verification of independent contributions, sized
+	// to exercise the chunked-product path.
+	pub, ids, responses, c, z, err := e.accelBatch(accelBatchSize)
+	if err != nil {
+		return "", nil, err
+	}
+	add("gq/batch-verify",
+		measure(func() {
+			if err := gq.BatchVerifyWorkers(pub, ids, responses, c, z, 1); err != nil {
+				panic(err)
+			}
+		}),
+		measure(func() {
+			if err := gq.BatchVerifyWorkers(pub, ids, responses, c, z, workers); err != nil {
+				panic(err)
+			}
+		}))
+
+	// EC fixed-base scalar multiplication (ECDSA baseline substrate).
+	curve := ec.Secp160r1()
+	curve.Precompute()
+	k0, err := curve.RandScalar(rand.Reader)
+	if err != nil {
+		return "", nil, err
+	}
+	add("ec/scalar-base-mult",
+		measure(func() { curve.ScalarMult(curve.Generator(), k0) }),
+		measure(func() { curve.ScalarBaseMult(k0) }))
+
+	// Pairing-group fixed-base scalar multiplication (SOK substrate).
+	pg, err := pairing.NewGroup(e.Set.Pairing)
+	if err != nil {
+		return "", nil, err
+	}
+	pg.Precompute()
+	pk0, err := pg.RandScalar(rand.Reader)
+	if err != nil {
+		return "", nil, err
+	}
+	add("pairing/scalar-base-mult",
+		measure(func() { pg.ScalarMult(pg.Generator(), pk0) }),
+		measure(func() { pg.ScalarBaseMult(pk0) }))
+
+	// --- headline: initial-flow key computation ------------------------
+
+	contrib, pipeline, err := e.accelInitialFlow(n, workers, gTab)
+	if err != nil {
+		return "", nil, err
+	}
+	ops["initial/key-computation"] = contrib
+	ops["initial/member-pipeline"] = pipeline
+
+	// --- rendering ------------------------------------------------------
+
+	order := []string{
+		"initial/key-computation",
+		"initial/member-pipeline",
+		"schnorr/fixed-base-exp",
+		"gq/respond",
+		"bd/key-assembly",
+		"gq/batch-verify",
+		"ec/scalar-base-mult",
+		"pairing/scalar-base-mult",
+	}
+	rows := make([][]string, 0, len(order))
+	for _, name := range order {
+		s := ops[name]
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%.1f", s.SerialNS/1000),
+			fmt.Sprintf("%.1f", s.AccelNS/1000),
+			fmt.Sprintf("%.2fx", s.Speedup),
+		})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Acceleration layer (n=%d, workers=%d)\n", n, workers)
+	b.WriteString(Table([]string{"op", "serial µs", "accel µs", "speedup"}, rows))
+	head := ops["initial/key-computation"]
+	fmt.Fprintf(&b, "initial-flow key computation (n=%d, precompute + %d workers): %.2fx speedup (target >= 2x)\n",
+		n, workers, head.Speedup)
+	fmt.Fprintf(&b, "(key-computation = every member's z_i, t_i, s_i keying ops; member-pipeline additionally includes\n"+
+		" the variable-base BD key derivation of eq. 3, which no fixed-base table can shortcut)\n")
+	return b.String(), ops, nil
+}
+
+// accelRing is a synthetic honest ring for the key-assembly measurement.
+type accelRing struct {
+	rs, zs, xs []*big.Int
+}
+
+func buildAccelRing(sg *mathx.SchnorrGroup, n int) *accelRing {
+	ring := &accelRing{
+		rs: make([]*big.Int, n),
+		zs: make([]*big.Int, n),
+		xs: make([]*big.Int, n),
+	}
+	for i := 0; i < n; i++ {
+		r, err := mathx.RandScalar(rand.Reader, sg.Q)
+		if err != nil {
+			panic(err)
+		}
+		ring.rs[i] = r
+		ring.zs[i] = sg.Exp(r)
+	}
+	for i := 0; i < n; i++ {
+		x, err := bdkey.XValue(ring.zs[(i+1)%n], ring.zs[(i-1+n)%n], ring.rs[i], sg.P)
+		if err != nil {
+			panic(err)
+		}
+		ring.xs[i] = x
+	}
+	return ring
+}
+
+// accelBatch builds a valid n-signer GQ batch over the environment's
+// parameters.
+func (e *Env) accelBatch(n int) (pub gq.Params, ids []string, responses []*big.Int, c, z *big.Int, err error) {
+	pub = gq.ParamsFrom(e.Set.Public().RSA)
+	ids = make([]string, n)
+	taus := make([]*big.Int, n)
+	ts := make([]*big.Int, n)
+	for i := 0; i < n; i++ {
+		ids[i] = fmt.Sprintf("A%03d", i+1)
+		taus[i], ts[i], err = gq.Commitment(rand.Reader, pub)
+		if err != nil {
+			return pub, nil, nil, nil, nil, err
+		}
+	}
+	z = big.NewInt(97)
+	c = gq.GroupChallenge(mathx.ProductMod(ts, pub.N), z)
+	responses = make([]*big.Int, n)
+	for i := range ids {
+		sk, err := e.PKG.ExtractGQ(ids[i])
+		if err != nil {
+			return pub, nil, nil, nil, nil, err
+		}
+		responses[i] = sk.Respond(taus[i], c)
+	}
+	return pub, ids, responses, c, z, nil
+}
+
+// accelInitialFlow times the member-side work of the initial flow for an
+// n-member group at two scopes. "Key computation" is the keying material
+// every member contributes — z_i = g^{r_i}, GQ commitment t_i = τ_i^e
+// and authenticated response s_i = τ_i·S_i^c — exactly the operations
+// the fixed-base tables target. "Member pipeline" additionally derives
+// the Burmester-Desmedt group key (equation 3), whose dominant
+// variable-base exponentiation z_{i-1}^{n·r_i} has no fixed-base
+// shortcut and therefore dilutes the ratio. The serial path runs every
+// member's naive computation sequentially; the accelerated path uses the
+// precomputed tables and spreads the independent members over `workers`
+// goroutines.
+func (e *Env) accelInitialFlow(n, workers int, gTab *mathx.FixedBaseTable) (contrib, pipeline OpStat, err error) {
+	sg := e.Set.Schnorr
+	pub := gq.ParamsFrom(e.Set.Public().RSA)
+	ring := buildAccelRing(sg, n)
+
+	// Two independent key sets: the accelerated one carries tables.
+	naiveKeys := make([]*gq.PrivateKey, n)
+	fastKeys := make([]*gq.PrivateKey, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("M%03d", i+1)
+		if naiveKeys[i], err = e.PKG.ExtractGQ(id); err != nil {
+			return contrib, pipeline, err
+		}
+		if fastKeys[i], err = e.PKG.ExtractGQ(id); err != nil {
+			return contrib, pipeline, err
+		}
+		fastKeys[i].Precompute()
+	}
+	taus := make([]*big.Int, n)
+	for i := 0; i < n; i++ {
+		if taus[i], _, err = gq.Commitment(rand.Reader, pub); err != nil {
+			return contrib, pipeline, err
+		}
+	}
+	c, err := mathx.RandInt(rand.Reader, new(big.Int).Lsh(mathx.One, 160))
+	if err != nil {
+		return contrib, pipeline, err
+	}
+
+	// contribSerial/Accel: z_i = g^{r_i}, t_i = τ_i^e, s_i = τ_i·S_i^c.
+	contribSerial := func(i int) {
+		new(big.Int).Exp(sg.G, ring.rs[i], sg.P)
+		new(big.Int).Exp(taus[i], pub.E, pub.N)
+		naiveKeys[i].Respond(taus[i], c)
+	}
+	contribAccel := func(i int) {
+		gTab.Exp(ring.rs[i])
+		new(big.Int).Exp(taus[i], pub.E, pub.N)
+		fastKeys[i].Respond(taus[i], c)
+	}
+	// The pipeline variants additionally derive the member's group key.
+	pipelineSerial := func(i int) {
+		contribSerial(i)
+		if _, err := bdkey.Key(i, ring.rs[i], ring.zs[(i-1+n)%n], ring.xs, sg.P); err != nil {
+			panic(err)
+		}
+	}
+	pipelineAccel := func(i int) {
+		contribAccel(i)
+		if _, err := bdkey.KeyMultiExp(i, ring.rs[i], ring.zs[(i-1+n)%n], ring.xs, sg.P); err != nil {
+			panic(err)
+		}
+	}
+
+	// allMembers runs one per-member function for the whole ring, spread
+	// over `workers` goroutines when parallelism is enabled.
+	allMembers := func(member func(int), parallel bool) func() {
+		return func() {
+			if !parallel || workers <= 1 {
+				for i := 0; i < n; i++ {
+					member(i)
+				}
+				return
+			}
+			var wg sync.WaitGroup
+			next := make(chan int)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := range next {
+						member(i)
+					}
+				}()
+			}
+			for i := 0; i < n; i++ {
+				next <- i
+			}
+			close(next)
+			wg.Wait()
+		}
+	}
+
+	stat := func(serial, accel func(int)) OpStat {
+		s := measure(allMembers(serial, false))
+		a := measure(allMembers(accel, true))
+		return OpStat{SerialNS: s, AccelNS: a, Speedup: s / a}
+	}
+	return stat(contribSerial, contribAccel), stat(pipelineSerial, pipelineAccel), nil
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that this binary was built with the race detector,
+// whose instrumentation distorts timing ratios; timing-sensitive
+// assertions skip themselves under it.
+const raceEnabled = true

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync/atomic"
 )
 
 // SchnorrGroup describes a prime-order-q subgroup of Z_p^*, the setting of
@@ -14,6 +15,12 @@ type SchnorrGroup struct {
 	P *big.Int // field prime (paper: 1024-bit)
 	Q *big.Int // subgroup order (paper: 160-bit)
 	G *big.Int // generator of the order-q subgroup
+
+	// fixedBase caches the windowed precomputation table for G, attached
+	// by Precompute. Groups are shared by pointer across every member of
+	// a deployment, so the table is published atomically; a nil table
+	// selects the naive path.
+	fixedBase atomic.Pointer[FixedBaseTable]
 }
 
 // GenerateSchnorrGroup produces a fresh Schnorr group with the requested
@@ -101,8 +108,38 @@ func (sg *SchnorrGroup) Validate() error {
 	return nil
 }
 
-// Exp computes g^x mod p for the group generator.
+// Precompute attaches a windowed fixed-base table for the generator,
+// turning subsequent Exp calls into ~ceil(|q|/window) modular
+// multiplications instead of a full square-and-multiply. Idempotent and
+// safe to call concurrently; returns the attached table (nil only when
+// the group is structurally unusable). The accelerated Exp returns
+// bit-identical values, so transcripts and operation accounting are
+// unaffected.
+func (sg *SchnorrGroup) Precompute() *FixedBaseTable {
+	if sg == nil || sg.P == nil || sg.Q == nil || sg.G == nil {
+		return nil
+	}
+	if t := sg.fixedBase.Load(); t != nil {
+		return t
+	}
+	t, err := NewFixedBaseTable(sg.G, sg.P, sg.Q.BitLen(), DefaultWindow)
+	if err != nil {
+		return nil
+	}
+	sg.fixedBase.CompareAndSwap(nil, t)
+	return sg.fixedBase.Load()
+}
+
+// FixedBase returns the precomputation table attached by Precompute, or
+// nil when the group runs the naive path.
+func (sg *SchnorrGroup) FixedBase() *FixedBaseTable { return sg.fixedBase.Load() }
+
+// Exp computes g^x mod p for the group generator, through the fixed-base
+// table when one has been precomputed.
 func (sg *SchnorrGroup) Exp(x *big.Int) *big.Int {
+	if t := sg.fixedBase.Load(); t != nil {
+		return t.Exp(x)
+	}
 	return new(big.Int).Exp(sg.G, x, sg.P)
 }
 

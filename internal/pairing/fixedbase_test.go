@@ -1,0 +1,75 @@
+package pairing
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+
+	"idgka/internal/params"
+)
+
+// TestScalarBaseMultPrecomputeTransparent cross-checks the fixed-base
+// table against naive double-and-add on random and edge scalars. A fresh
+// Group is built so the shared test group keeps exercising the naive path.
+func TestScalarBaseMultPrecomputeTransparent(t *testing.T) {
+	g, err := NewGroup(params.Default().Pairing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := g.Order()
+	scalars := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		big.NewInt(2),
+		new(big.Int).Sub(q, big.NewInt(1)),
+		q,
+		new(big.Int).Add(q, big.NewInt(7)), // reduced before lookup
+	}
+	for i := 0; i < 10; i++ {
+		k, err := g.RandScalar(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalars = append(scalars, k)
+	}
+	naive := make([]Point, len(scalars))
+	for i, k := range scalars {
+		naive[i] = g.ScalarMult(g.Generator(), new(big.Int).Mod(k, q))
+	}
+	g.Precompute()
+	if g.fixedBase.Load() == nil {
+		t.Fatal("no table after Precompute")
+	}
+	g.Precompute() // idempotent
+	for i, k := range scalars {
+		got := g.ScalarBaseMult(k)
+		if !got.Equal(naive[i]) {
+			t.Fatalf("table ScalarBaseMult diverges for k=%v", k)
+		}
+		if !got.IsInfinity() && !g.IsOnCurve(got) {
+			t.Fatalf("table result off-curve for k=%v", k)
+		}
+	}
+}
+
+func BenchmarkPairingScalarBaseMultNaive(b *testing.B) {
+	g := testGroup(b)
+	k, _ := g.RandScalar(rand.Reader)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ScalarMult(g.Generator(), k)
+	}
+}
+
+func BenchmarkPairingScalarBaseMultFixedBase(b *testing.B) {
+	g, err := NewGroup(params.Default().Pairing)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.Precompute()
+	k, _ := g.RandScalar(rand.Reader)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ScalarBaseMult(k)
+	}
+}

@@ -1,0 +1,118 @@
+package gq
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+	"testing"
+
+	"idgka/internal/mathx"
+)
+
+// TestPrecomputeRespondTransparent checks the fixed-base response path is
+// bit-identical to the naive one across random challenges and edges.
+func TestPrecomputeRespondTransparent(t *testing.T) {
+	sk := testKey(t, "accel-alice")
+	tau, _, err := Commitment(rand.Reader, sk.Pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := []*big.Int{big.NewInt(0), big.NewInt(1)}
+	for i := 0; i < 8; i++ {
+		c, err := mathx.RandInt(rand.Reader, new(big.Int).Lsh(mathx.One, 160))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs = append(cs, c)
+	}
+	naive := make([]*big.Int, len(cs))
+	for i, c := range cs {
+		naive[i] = sk.Respond(tau, c)
+	}
+	if sk.Precompute() == nil {
+		t.Fatal("Precompute returned nil")
+	}
+	for i, c := range cs {
+		if got := sk.Respond(tau, c); got.Cmp(naive[i]) != 0 {
+			t.Fatalf("precomputed Respond diverges for c=%v", c)
+		}
+	}
+	// Precomputed responses still verify.
+	msg := []byte("accelerated signing")
+	sig, err := sk.SignDefault(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(sk.Pub, sk.ID, msg, sig); err != nil {
+		t.Fatalf("precomputed signature rejected: %v", err)
+	}
+}
+
+// batchFixture builds a valid n-signer batch over the default parameters.
+func batchFixture(t testing.TB, n int) (pub Params, ids []string, responses []*big.Int, c, z *big.Int) {
+	pub = testKey(t, "seed").Pub
+	ids = make([]string, n)
+	taus := make([]*big.Int, n)
+	ts := make([]*big.Int, n)
+	for i := 0; i < n; i++ {
+		ids[i] = fmt.Sprintf("batch-%03d", i)
+		tau, ti, err := Commitment(rand.Reader, pub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		taus[i], ts[i] = tau, ti
+	}
+	z = big.NewInt(77)
+	c = GroupChallenge(mathx.ProductMod(ts, pub.N), z)
+	responses = make([]*big.Int, n)
+	for i, id := range ids {
+		responses[i] = testKey(t, id).Respond(taus[i], c)
+	}
+	return pub, ids, responses, c, z
+}
+
+func TestBatchVerifyWorkersMatchesSerial(t *testing.T) {
+	for _, n := range []int{2, 16, 40} {
+		pub, ids, responses, c, z := batchFixture(t, n)
+		for _, workers := range []int{0, 1, 2, 4, 8} {
+			if err := BatchVerifyWorkers(pub, ids, responses, c, z, workers); err != nil {
+				t.Fatalf("n=%d workers=%d: valid batch rejected: %v", n, workers, err)
+			}
+		}
+		// A corrupted response must fail at every parallelism level.
+		bad := append([]*big.Int(nil), responses...)
+		bad[n/2] = new(big.Int).Add(bad[n/2], mathx.One)
+		for _, workers := range []int{1, 4} {
+			if err := BatchVerifyWorkers(pub, ids, bad, c, z, workers); err == nil {
+				t.Fatalf("n=%d workers=%d: corrupted batch accepted", n, workers)
+			}
+		}
+	}
+}
+
+func BenchmarkRespondNaive(b *testing.B) {
+	sk := testKey(b, "bench-respond")
+	tau, _, err := Commitment(rand.Reader, sk.Pub)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, _ := mathx.RandInt(rand.Reader, new(big.Int).Lsh(mathx.One, 160))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Respond(tau, c)
+	}
+}
+
+func BenchmarkRespondPrecomputed(b *testing.B) {
+	sk := testKey(b, "bench-respond")
+	sk.Precompute()
+	tau, _, err := Commitment(rand.Reader, sk.Pub)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, _ := mathx.RandInt(rand.Reader, new(big.Int).Lsh(mathx.One, 160))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Respond(tau, c)
+	}
+}

@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
+	"sync/atomic"
 
 	"idgka/internal/hashx"
 	"idgka/internal/mathx"
@@ -46,6 +48,32 @@ type PrivateKey struct {
 	ID  string
 	S   *big.Int
 	Pub Params
+
+	// fixedBase caches the windowed precomputation table for S_ID,
+	// attached by Precompute. S_ID is exponentiated by a fresh challenge
+	// on every response the member signs, so the table pays for itself
+	// after a handful of rounds. Published atomically because one key may
+	// be shared by an application goroutine and a verification pool.
+	fixedBase atomic.Pointer[mathx.FixedBaseTable]
+}
+
+// Precompute attaches a fixed-base table for S_ID covering challenge-
+// sized exponents, accelerating Respond (and hence Sign). Idempotent,
+// safe for concurrent use, and mathematically transparent: responses are
+// bit-identical to the naive computation.
+func (sk *PrivateKey) Precompute() *mathx.FixedBaseTable {
+	if sk == nil || sk.S == nil || sk.Pub.N == nil {
+		return nil
+	}
+	if t := sk.fixedBase.Load(); t != nil {
+		return t
+	}
+	t, err := mathx.NewFixedBaseTable(sk.S, sk.Pub.N, hashx.ChallengeBits, mathx.DefaultWindow)
+	if err != nil {
+		return nil
+	}
+	sk.fixedBase.CompareAndSwap(nil, t)
+	return sk.fixedBase.Load()
 }
 
 // Signature is the GQ pair σ = (s, c).
@@ -81,10 +109,16 @@ func Commitment(r io.Reader, pub Params) (tau, t *big.Int, err error) {
 }
 
 // Respond computes the response s = τ·S_ID^c mod n for a previously drawn
-// commitment τ and an agreed challenge c. In the group protocol this is the
-// s_i broadcast in Round 2.
+// commitment τ and an agreed challenge c, through the fixed-base table
+// when one has been precomputed. In the group protocol this is the s_i
+// broadcast in Round 2.
 func (sk *PrivateKey) Respond(tau, c *big.Int) *big.Int {
-	s := new(big.Int).Exp(sk.S, c, sk.Pub.N)
+	var s *big.Int
+	if t := sk.fixedBase.Load(); t != nil {
+		s = t.Exp(c)
+	} else {
+		s = new(big.Int).Exp(sk.S, c, sk.Pub.N)
+	}
 	s.Mul(s, tau)
 	return s.Mod(s, sk.Pub.N)
 }
@@ -123,18 +157,7 @@ func Verify(pub Params, id string, msg []byte, sig *Signature) error {
 // that equals the (product of) commitment(s) for a valid (batch of)
 // signature(s).
 func recoverCommitment(pub Params, ids []string, s, c *big.Int) (*big.Int, error) {
-	se := new(big.Int).Exp(s, pub.E, pub.N)
-	hprod := big.NewInt(1)
-	for _, id := range ids {
-		hprod.Mul(hprod, hashx.IdentityDigest(id, pub.N))
-		hprod.Mod(hprod, pub.N)
-	}
-	hInvC, err := mathx.ModExp(hprod, new(big.Int).Neg(c), pub.N)
-	if err != nil {
-		return nil, fmt.Errorf("gq: identity product not invertible: %w", err)
-	}
-	se.Mul(se, hInvC)
-	return se.Mod(se, pub.N), nil
+	return foldCommitment(pub, identityProduct(pub, ids, 1), s, c)
 }
 
 // GroupChallenge derives the common challenge c = H(T, Z) of the group
@@ -149,6 +172,16 @@ func GroupChallenge(t, z *big.Int) *big.Int {
 //
 //	c == H((Π s_i)^e · (Π H(ID_i))^{-c}, Z)
 func BatchVerify(pub Params, ids []string, responses []*big.Int, c, z *big.Int) error {
+	return BatchVerifyWorkers(pub, ids, responses, c, z, 1)
+}
+
+// BatchVerifyWorkers is BatchVerify with the per-contribution work — the
+// response product and the identity digest product — spread across up to
+// `workers` goroutines. Contributions from distinct peers are
+// independent, so the products chunk freely; the verdict and every
+// intermediate value are bit-identical to the serial path, which
+// workers <= 1 selects exactly.
+func BatchVerifyWorkers(pub Params, ids []string, responses []*big.Int, c, z *big.Int, workers int) error {
 	if len(ids) == 0 || len(ids) != len(responses) {
 		return errors.New("gq: batch size mismatch")
 	}
@@ -157,8 +190,21 @@ func BatchVerify(pub Params, ids []string, responses []*big.Int, c, z *big.Int) 
 			return fmt.Errorf("gq: response %d out of range", i)
 		}
 	}
-	sProd := mathx.ProductMod(responses, pub.N)
-	lhs, err := recoverCommitment(pub, ids, sProd, c)
+	var sProd, hProd *big.Int
+	if workers <= 1 {
+		sProd = mathx.ProductMod(responses, pub.N)
+		hProd = identityProduct(pub, ids, 1)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sProd = mathx.ProductModParallel(responses, pub.N, workers/2)
+		}()
+		hProd = identityProduct(pub, ids, workers-workers/2)
+		wg.Wait()
+	}
+	lhs, err := foldCommitment(pub, hProd, sProd, c)
 	if err != nil {
 		return err
 	}
@@ -167,6 +213,51 @@ func BatchVerify(pub Params, ids []string, responses []*big.Int, c, z *big.Int) 
 		return errors.New("gq: batch verification failed")
 	}
 	return nil
+}
+
+// identityProduct computes Π H(ID_i) mod n, hashing the identities on up
+// to `workers` goroutines.
+func identityProduct(pub Params, ids []string, workers int) *big.Int {
+	digests := make([]*big.Int, len(ids))
+	if workers <= 1 || len(ids) < 16 {
+		for i, id := range ids {
+			digests[i] = hashx.IdentityDigest(id, pub.N)
+		}
+	} else {
+		if workers > len(ids) {
+			workers = len(ids)
+		}
+		chunk := (len(ids) + workers - 1) / workers
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(ids) {
+				hi = len(ids)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					digests[i] = hashx.IdentityDigest(ids[i], pub.N)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	return mathx.ProductModParallel(digests, pub.N, workers)
+}
+
+// foldCommitment computes s^e · hProd^{-c} mod n given a precomputed
+// identity product.
+func foldCommitment(pub Params, hProd, s, c *big.Int) (*big.Int, error) {
+	se := new(big.Int).Exp(s, pub.E, pub.N)
+	hInvC, err := mathx.ModExp(hProd, new(big.Int).Neg(c), pub.N)
+	if err != nil {
+		return nil, fmt.Errorf("gq: identity product not invertible: %w", err)
+	}
+	se.Mul(se, hInvC)
+	return se.Mod(se, pub.N), nil
 }
 
 // SignDeterministicRand is a helper for tests that need reproducible
