@@ -11,40 +11,52 @@ import (
 	"idgka/internal/transport"
 )
 
-// TestEventDrivenEstablishmentOverTCP is the acceptance path of the
-// event-driven deployment: a real hub on loopback, one TCP connection per
-// node, and every member driven ONLY by its own inbox — establishment and
-// key confirmation complete with matching fingerprints.
-func TestEventDrivenEstablishmentOverTCP(t *testing.T) {
+// newProc wires a hub, a router and n owned nodes for one in-process
+// event-driven deployment.
+func newProc(t *testing.T, n int) *proc {
+	t.Helper()
 	hub, err := transport.NewHub("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer hub.Close()
+	t.Cleanup(func() { _ = hub.Close() })
 	router := transport.NewRouter(hub.Addr())
-	defer router.Close()
+	t.Cleanup(router.Close)
 
 	set := params.Default()
-	cfg := engine.Config{Set: set.Public()}
-	const n = 4
-	roster := make([]string, n)
-	keys := make([]*gq.PrivateKey, n)
-	meters := make([]*meter.Meter, n)
+	p := &proc{
+		router: router,
+		cfg:    engine.Config{Set: set.Public()},
+		ids:    make([]string, n),
+		keys:   make([]*gq.PrivateKey, n),
+		meters: make([]*meter.Meter, n),
+	}
 	for i := 0; i < n; i++ {
 		id := fmt.Sprintf("node-%02d", i+1)
 		sk, err := gq.Extract(set.RSA, id)
 		if err != nil {
 			t.Fatal(err)
 		}
-		roster[i] = id
-		keys[i] = sk
-		meters[i] = meter.New()
-		if err := router.Attach(id, meters[i]); err != nil {
+		p.ids[i] = id
+		p.keys[i] = sk
+		p.meters[i] = meter.New()
+		if err := router.Attach(id, p.meters[i]); err != nil {
 			t.Fatal(err)
 		}
 	}
+	return p
+}
 
-	fps, err := runEventDriven(router, cfg, roster, keys, meters)
+// TestEventDrivenEstablishmentOverTCP is the acceptance path of the
+// event-driven deployment: a real hub on loopback, one TCP connection per
+// node, and every member driven ONLY by its own inbox — establishment and
+// key confirmation complete with matching fingerprints.
+func TestEventDrivenEstablishmentOverTCP(t *testing.T) {
+	const n = 4
+	p := newProc(t, n)
+	roster := p.ids
+
+	fps, err := p.eventDriven(roster)
 	if err != nil {
 		t.Fatalf("event-driven GKA over TCP: %v", err)
 	}
@@ -55,7 +67,7 @@ func TestEventDrivenEstablishmentOverTCP(t *testing.T) {
 	}
 	// Each member transmitted its two protocol rounds plus one
 	// confirmation digest.
-	for i, m := range meters {
+	for i, m := range p.meters {
 		if r := m.Report(); r.MsgTx != 3 {
 			t.Errorf("%s: MsgTx = %d, want 3", roster[i], r.MsgTx)
 		}
@@ -68,48 +80,86 @@ func TestEventDrivenEstablishmentOverTCP(t *testing.T) {
 // re-key. Every node derives the flow parameters from its own session
 // registry; no goroutine sees more than one member.
 func TestEventDrivenDynamicLifecycleOverTCP(t *testing.T) {
-	hub, err := transport.NewHub("127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer hub.Close()
-	router := transport.NewRouter(hub.Addr())
-	defer router.Close()
-
-	set := params.Default()
-	cfg := engine.Config{Set: set.Public()}
 	const n = 4 // founders; one more node joins dynamically
-	ids := make([]string, n+1)
-	keys := make([]*gq.PrivateKey, n+1)
-	meters := make([]*meter.Meter, n+1)
-	for i := range ids {
-		id := fmt.Sprintf("node-%02d", i+1)
-		sk, err := gq.Extract(set.RSA, id)
-		if err != nil {
-			t.Fatal(err)
-		}
-		ids[i] = id
-		keys[i] = sk
-		meters[i] = meter.New()
-		if err := router.Attach(id, meters[i]); err != nil {
-			t.Fatal(err)
-		}
-	}
-	roster, joiner, evictee := ids[:n], ids[n], ids[1]
+	p := newProc(t, n+1)
+	roster, joiner, evictee := p.ids[:n], p.ids[n], p.ids[1]
 
-	fps, err := runEventLifecycle(router, cfg, roster, keys, meters, joiner, evictee)
+	fps, err := p.lifecycle(roster, joiner, evictee)
 	if err != nil {
 		t.Fatalf("event-driven lifecycle over TCP: %v", err)
 	}
 	// All survivors — including the joined node — confirmed one final
 	// key; the evictee's last key (the joined group's) must differ.
-	ref, err := checkAgreement(ids, fps, evictee)
+	ref, err := checkAgreement(p.ids, fps, evictee)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, id := range ids {
+	for i, id := range p.ids {
 		if id == evictee && fps[i] == ref {
 			t.Fatal("evictee still holds the survivors' key")
 		}
+	}
+}
+
+// TestEventDrivenCrashRecoveryOverTCP is the fault-tolerance acceptance
+// path: a node's connection dies without warning; the hub settles every
+// delivery blocked on it and deals peer-down frames to the survivors,
+// which abort whatever the death wedged, evict the dead node via the
+// paper's Leave protocol — flow parameters derived from each node's own
+// committed session, no coordinator — and converge on a confirmed fresh
+// key the victim does not hold. At phase "established" the victim dies
+// before the confirmation round, so every survivor's confirm flow is
+// genuinely wedged until the peer-down event aborts it.
+func TestEventDrivenCrashRecoveryOverTCP(t *testing.T) {
+	for _, phase := range []string{phaseEstablished, phaseConfirmed} {
+		t.Run(phase, func(t *testing.T) {
+			const n = 4
+			p := newProc(t, n)
+			victim := p.ids[1]
+
+			fps, err := p.crashScenario(p.ids, victim, phase)
+			if err != nil {
+				t.Fatalf("crash scenario (%s): %v", phase, err)
+			}
+			ref, err := checkAgreement(p.ids, fps, victim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, id := range p.ids {
+				if id == victim && fps[i] == ref {
+					t.Fatal("crashed node still holds the survivors' key")
+				}
+			}
+		})
+	}
+}
+
+// TestParseCrash covers the -crash flag grammar.
+func TestParseCrash(t *testing.T) {
+	if v, ph, err := parseCrash("node-02@confirmed"); err != nil || v != "node-02" || ph != "confirmed" {
+		t.Fatalf("parseCrash: %q %q %v", v, ph, err)
+	}
+	for _, bad := range []string{"node-02", "@confirmed", "node-02@", "node-02@nope"} {
+		if _, _, err := parseCrash(bad); err == nil {
+			t.Errorf("parseCrash(%q) accepted", bad)
+		}
+	}
+	if v, ph, err := parseCrash(""); err != nil || v != "" || ph != "" {
+		t.Fatalf("empty -crash: %q %q %v", v, ph, err)
+	}
+}
+
+// TestParseOwn covers the -own flag grammar.
+func TestParseOwn(t *testing.T) {
+	ids := []string{"node-01", "node-02", "node-03"}
+	got, err := parseOwn("node-03, node-01", ids)
+	if err != nil || len(got) != 2 || got[0] != "node-01" || got[1] != "node-03" {
+		t.Fatalf("parseOwn: %v %v", got, err)
+	}
+	if _, err := parseOwn("node-09", ids); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	if got, err := parseOwn("", ids); err != nil || len(got) != 3 {
+		t.Fatalf("default own: %v %v", got, err)
 	}
 }

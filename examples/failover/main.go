@@ -1,0 +1,139 @@
+// Failover: a sensor cluster loses a node without warning and re-keys
+// itself — the fault-tolerance runtime of the event-driven Session API.
+//
+// The cluster establishes a key; then one node goes dark. The medium's
+// failure detector injects a peer-down control packet (exactly what the
+// TCP transport and netsim.Async deliver on disconnect/crash), the
+// surviving members' peer-down handlers fire, and each survivor launches
+// the paper's Leave protocol from its OWN committed session state — no
+// coordinator — then confirms the fresh key. A deadline on the lost
+// node's half-open session shows the timeout runtime failing it cleanly.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"idgka"
+)
+
+func fingerprint(key []byte) string {
+	fp := sha256.Sum256(key)
+	return fmt.Sprintf("%x", fp[:6])
+}
+
+// route delivers queued packets among live sessions until quiescence,
+// fanning broadcasts to every other member. Packets for dead members are
+// dropped on the floor — that is what "dead" means.
+func route(sessions map[string]*idgka.Session) {
+	type delivery struct {
+		to  string
+		pkt idgka.Packet
+	}
+	var queue []delivery
+	drain := func(id string) {
+		for _, p := range sessions[id].Outbox() {
+			for other := range sessions {
+				if other != id && (p.To == "" || p.To == other) {
+					queue = append(queue, delivery{to: other, pkt: p})
+				}
+			}
+		}
+	}
+	for id := range sessions {
+		drain(id)
+	}
+	for len(queue) > 0 {
+		d := queue[0]
+		queue = queue[1:]
+		if err := sessions[d.to].HandleMessage(d.pkt); err != nil {
+			log.Fatalf("%s: %v", d.to, err)
+		}
+		drain(d.to)
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	authority, err := idgka.NewAuthority()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	roster := []string{"sensor-1", "sensor-2", "sensor-3", "sensor-4"}
+	members := map[string]*idgka.Member{}
+	for _, id := range roster {
+		if members[id], err = authority.NewMember(id); err != nil {
+			log.Fatalf("extract %s: %v", id, err)
+		}
+	}
+
+	// Establish: application-owned routing, every member event-driven.
+	est := map[string]*idgka.Session{}
+	for _, id := range roster {
+		if est[id], err = members[id].NewSession("cluster", roster); err != nil {
+			log.Fatal(err)
+		}
+	}
+	route(est)
+	fmt.Printf("cluster keyed: %v key=%s\n", roster, fingerprint(est[roster[0]].Key()))
+
+	// sensor-3 goes dark. The failure detector (the TCP hub's peer-down
+	// frame, netsim.Async's Crash, or the application's own liveness
+	// probe) tells the survivors; each member's handler queues the
+	// eviction.
+	const victim = "sensor-3"
+	survivors := []string{"sensor-1", "sensor-2", "sensor-4"}
+	leave := map[string]*idgka.Session{}
+	for _, id := range survivors {
+		id := id
+		members[id].SetPeerDownHandler(func(peer string) {
+			fmt.Printf("%s: peer %s is down — evicting\n", id, peer)
+			s, err := members[id].LeaveSession("cluster/evict", "cluster", []string{peer})
+			if err != nil {
+				log.Fatal(err)
+			}
+			leave[id] = s
+		})
+	}
+	for _, id := range survivors {
+		if err := est[id].HandleMessage(idgka.PeerDownPacket(victim)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	route(leave)
+
+	// Confirm the fresh key among the survivors.
+	cfm := map[string]*idgka.Session{}
+	for _, id := range survivors {
+		if cfm[id], err = members[id].ConfirmSession("cluster/evict/c", "cluster/evict"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	route(cfm)
+	fmt.Printf("survivors re-keyed: %v key=%s (confirmed)\n", survivors, fingerprint(cfm[survivors[0]].Key()))
+	fmt.Printf("the dead node's key %s no longer opens anything\n", fingerprint(est[victim].Key()))
+
+	// Timeout runtime: the dead node also had a half-open session (a
+	// confirm it will never finish). Deadline ticks retransmit while
+	// budget remains, then fail it terminally instead of leaking it.
+	ghost, err := members[victim].ConfirmSession("cluster/ghost", "cluster")
+	if err != nil {
+		log.Fatal(err)
+	}
+	now := time.Now()
+	for !ghost.Done() {
+		ghost.SetDeadline(now)
+		if err := ghost.Tick(now); err != nil && !errors.Is(err, idgka.ErrSessionTimeout) {
+			log.Fatal(err)
+		}
+		ghost.Outbox() // retransmissions go nowhere; the node is isolated
+	}
+	fmt.Printf("ghost session timed out cleanly after %d retransmissions: %v\n",
+		ghost.Attempts(), ghost.Err())
+}

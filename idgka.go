@@ -68,6 +68,7 @@ import (
 	"crypto/rand"
 	"errors"
 	"io"
+	"sort"
 
 	"idgka/internal/core"
 	"idgka/internal/energy"
@@ -153,6 +154,13 @@ type Member struct {
 	// sessions routes engine lifecycle events to the owning event-driven
 	// Session handle (see session.go).
 	sessions map[string]*Session
+	// retries is the per-flow retransmission budget the session runtime
+	// enforces (Config.MaxRetries, defaulted).
+	retries int
+	// dead records peers the medium reported down; onPeerDown is the
+	// application's notification hook (see SetPeerDownHandler).
+	dead       map[string]bool
+	onPeerDown func(peer string)
 }
 
 // NewMember extracts an identity key and builds a participant with default
@@ -168,7 +176,7 @@ func (a *Authority) NewMemberWithConfig(id string, cfg Config) (*Member, error) 
 		return nil, err
 	}
 	m := meter.New()
-	inner, err := core.NewMember(core.Config{
+	ecfg := core.Config{
 		Set:                a.set.Public(),
 		Rand:               cfg.Rand,
 		MaxRetries:         cfg.MaxRetries,
@@ -177,11 +185,12 @@ func (a *Authority) NewMemberWithConfig(id string, cfg Config) (*Member, error) 
 			Precompute:    cfg.Precompute,
 			VerifyWorkers: cfg.VerifyWorkers,
 		},
-	}, sk, m)
+	}
+	inner, err := core.NewMember(ecfg, sk, m)
 	if err != nil {
 		return nil, err
 	}
-	return &Member{inner: inner, m: m}, nil
+	return &Member{inner: inner, m: m, retries: ecfg.Retries()}, nil
 }
 
 // ID returns the member identity.
@@ -204,6 +213,39 @@ func (mb *Member) Roster() []string {
 		return nil
 	}
 	return append([]string(nil), s.Roster...)
+}
+
+// SetPeerDownHandler installs the peer-death notification hook: it fires
+// (from the goroutine driving this member's sessions) the first time the
+// medium reports each peer dead — a netsim.TypePeerDown control packet fed
+// through any of the member's session handles, as the TCP transport and
+// the async simulator inject on disconnect/crash. The idiomatic reaction
+// is to evict the peer from every shared group via LeaveSession, re-keying
+// the survivors.
+func (mb *Member) SetPeerDownHandler(f func(peer string)) { mb.onPeerDown = f }
+
+// DeadPeers returns the peers the medium has reported down, sorted.
+func (mb *Member) DeadPeers() []string {
+	out := make([]string, 0, len(mb.dead))
+	for id := range mb.dead {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// notePeerDown records a peer death exactly once and fires the handler.
+func (mb *Member) notePeerDown(peer string) {
+	if mb.dead == nil {
+		mb.dead = map[string]bool{}
+	}
+	if mb.dead[peer] {
+		return
+	}
+	mb.dead[peer] = true
+	if mb.onPeerDown != nil {
+		mb.onPeerDown(peer)
+	}
 }
 
 // Report snapshots the member's operation counters.

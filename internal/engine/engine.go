@@ -163,6 +163,11 @@ const (
 	// parsing failure); the application restarts the flow with a higher
 	// attempt number.
 	EventFailed
+	// EventPeerDown fires when the medium reports a peer dead (a
+	// netsim.TypePeerDown control message was stepped); Peer names it. The
+	// event belongs to no session — it is the trigger for the application
+	// to evict the peer from every group it shares via the Leave flow.
+	EventPeerDown
 )
 
 // Event is one lifecycle notification from Step or a Start call.
@@ -172,6 +177,7 @@ type Event struct {
 	Group     *Group // set for EventEstablished and EventConfirmed
 	Err       error  // set for EventFailed
 	Retryable bool
+	Peer      string // set for EventPeerDown
 }
 
 // retryErr marks verification failures that trigger the paper's
@@ -505,6 +511,12 @@ func (mc *Machine) wrapOuts(rf *runningFlow, outs []Outbound) []Outbound {
 // ids are buffered until the flow starts; stale traffic (completed
 // sessions, superseded attempts) is dropped silently.
 func (mc *Machine) Step(msg netsim.Message) ([]Outbound, []Event) {
+	if msg.Type == netsim.TypePeerDown {
+		// Control traffic from a failure-aware medium, not a protocol
+		// message: intercept before flow routing (a legacy flow would be
+		// fed bytes it cannot parse) and surface it as a lifecycle event.
+		return nil, []Event{{Kind: EventPeerDown, Peer: msg.From}}
+	}
 	if mc.legacy != nil {
 		rf := mc.legacy
 		outs, evts := mc.dispatch(rf, &msg)

@@ -26,6 +26,13 @@ type Handler func(msg Message) error
 // Async implements Medium, so engine outbounds route through the same
 // Broadcast/Send calls as the synchronous Network, with identical
 // per-node meter accounting (Tx charged at send, Rx at delivery).
+// Fault injection: the same failure modes the TCP transport exhibits are
+// reproducible deterministically under the construction seed — SetLoss
+// drops enqueued copies, SetDelay makes the scheduler push picked messages
+// back instead of delivering them, and Crash kills a node mid-run: its
+// queue is discarded, it can no longer send or receive, and every
+// survivor is dealt a TypePeerDown control message exactly like the hub's
+// peer-down frame.
 type Async struct {
 	mu    sync.Mutex
 	rng   *rand.Rand
@@ -36,6 +43,10 @@ type Async struct {
 	totalMsgs  int
 	totalBytes int64
 	running    bool
+
+	lossRate  float64
+	delayRate float64
+	crashed   map[string]bool
 }
 
 type anode struct {
@@ -55,7 +66,58 @@ var _ Medium = (*Async)(nil)
 // NewAsync creates an empty asynchronous medium whose delivery schedule is
 // fully determined by the seed.
 func NewAsync(seed int64) *Async {
-	return &Async{rng: rand.New(rand.NewSource(seed)), nodes: map[string]*anode{}}
+	return &Async{rng: rand.New(rand.NewSource(seed)), nodes: map[string]*anode{}, crashed: map[string]bool{}}
+}
+
+// SetLoss makes every enqueued copy of a message independently vanish
+// with probability rate (0 ≤ rate ≤ 1), drawn from the seeded rng. Lost
+// copies are charged to the sender's meter (the radio transmitted) but
+// never reach the recipient — the retransmit runtime's job is to recover.
+func (a *Async) SetLoss(rate float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.lossRate = rate
+}
+
+// SetDelay makes the scheduler, with probability rate (0 ≤ rate < 1),
+// push a picked message to the back of its recipient's queue instead of
+// delivering it — unbounded but finite extra reordering on top of the
+// uniform lottery, simulating straggling links. Rates ≥ 1 would spin Run
+// forever (requeues count as neither deliveries nor quiescence) and are
+// clamped to 0.99.
+func (a *Async) SetDelay(rate float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if rate >= 1 {
+		rate = 0.99
+	}
+	a.delayRate = rate
+}
+
+// Crash kills a node mid-run: its undelivered queue is discarded, further
+// sends from or to it fail, and every survivor receives a TypePeerDown
+// control message through the normal delivery lottery — the deterministic
+// twin of the TCP hub's peer-down frame on disconnect.
+func (a *Async) Crash(id string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	nd, ok := a.nodes[id]
+	if !ok {
+		return
+	}
+	a.pending -= len(nd.queue)
+	delete(a.nodes, id)
+	for i, v := range a.order {
+		if v == id {
+			a.order = append(a.order[:i], a.order[i+1:]...)
+			break
+		}
+	}
+	a.crashed[id] = true
+	down := PeerDown(id)
+	for _, sid := range a.order {
+		a.enqueue(a.nodes[sid], down, 0)
+	}
 }
 
 // Register attaches a node and its message handler. The meter may be nil.
@@ -86,8 +148,13 @@ func (a *Async) Unregister(id string) {
 	}
 }
 
-// enqueue queues one message for one recipient.
+// enqueue queues one message for one recipient, subject to loss
+// injection. Peer-down control messages are never lost: the real
+// transport delivers them over the survivor's own healthy connection.
 func (a *Async) enqueue(nd *anode, msg Message, stateLen int) {
+	if a.lossRate > 0 && msg.Type != TypePeerDown && a.rng.Float64() < a.lossRate {
+		return // lost on the air; Tx was already charged
+	}
 	nd.queue = append(nd.queue, pendingMsg{msg: msg, stateLen: stateLen})
 	a.pending++
 }
@@ -134,6 +201,9 @@ func (a *Async) SendState(from, to, typ string, payload []byte, stateLen int) er
 	}
 	rcpt, ok := a.nodes[to]
 	if !ok {
+		if a.crashed[to] {
+			return fmt.Errorf("netsim: recipient %q is down", to)
+		}
 		return fmt.Errorf("netsim: unknown recipient %q", to)
 	}
 	sender.m.Tx(len(payload))
@@ -208,6 +278,15 @@ func (a *Async) Run(maxSteps int) (delivered int, err error) {
 		if nd == nil { // unreachable unless bookkeeping drifted
 			a.mu.Unlock()
 			return delivered, errors.New("netsim: async scheduler lost a message")
+		}
+		if a.delayRate > 0 && a.rng.Float64() < a.delayRate {
+			// Straggling link: the message goes back to the end of its
+			// recipient's queue instead of delivering. Finite for any
+			// rate < 1, so quiescence is still reached.
+			nd.queue = append(nd.queue, pick)
+			a.pending++
+			a.mu.Unlock()
+			continue
 		}
 		nd.m.Rx(len(pick.msg.Payload))
 		nd.m.RxState(pick.stateLen)

@@ -126,3 +126,117 @@ func TestAsyncMeterAccounting(t *testing.T) {
 		t.Fatalf("totals %d/%d", msgs, bytes)
 	}
 }
+
+// TestAsyncCrash: killing a node mid-run discards its queue and deals
+// every survivor a TypePeerDown control message — the deterministic twin
+// of the TCP hub's disconnect handling.
+func TestAsyncCrash(t *testing.T) {
+	a := NewAsync(11)
+	down := map[string]string{}
+	delivered := map[string]int{}
+	for _, id := range []string{"a", "b", "c"} {
+		id := id
+		if err := a.Register(id, meter.New(), func(msg Message) error {
+			if msg.Type == TypePeerDown {
+				down[id] = msg.From
+				return nil
+			}
+			delivered[id]++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Broadcast("a", "t", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	a.Crash("c")
+	if _, err := a.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if down["a"] != "c" || down["b"] != "c" {
+		t.Fatalf("survivors missed the peer-down: %v", down)
+	}
+	if _, crashed := down["c"]; crashed {
+		t.Fatal("dead node notified about itself")
+	}
+	if delivered["b"] != 1 {
+		t.Fatalf("surviving recipient lost traffic: %v", delivered)
+	}
+	// The dead node can no longer be addressed.
+	if err := a.Send("a", "c", "t", nil); err == nil {
+		t.Fatal("send to crashed node accepted")
+	}
+	if err := a.Broadcast("c", "t", nil); err == nil {
+		t.Fatal("send from crashed node accepted")
+	}
+}
+
+// TestAsyncLoss: full loss suppresses every data delivery (Tx still
+// charged — the radio transmitted) while peer-down control traffic is
+// exempt, so crash detection survives a lossy medium.
+func TestAsyncLoss(t *testing.T) {
+	a := NewAsync(5)
+	got := 0
+	downs := 0
+	ma := meter.New()
+	if err := a.Register("a", ma, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"b", "c"} {
+		if err := a.Register(id, meter.New(), func(msg Message) error {
+			if msg.Type == TypePeerDown {
+				downs++
+			} else {
+				got++
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.SetLoss(1)
+	if err := a.Broadcast("a", "t", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if a.Pending() != 0 {
+		t.Fatalf("%d copies survived full loss", a.Pending())
+	}
+	if tx := ma.Report().MsgTx; tx != 1 {
+		t.Fatalf("sender Tx = %d, want 1 (charged despite loss)", tx)
+	}
+	a.Crash("a")
+	if _, err := a.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 || downs != 2 {
+		t.Fatalf("got %d data, %d peer-downs; want 0 and 2", got, downs)
+	}
+}
+
+// TestAsyncDelay: delay injection reorders harder but still quiesces, and
+// every message is eventually delivered exactly once.
+func TestAsyncDelay(t *testing.T) {
+	a := NewAsync(9)
+	got := 0
+	for _, id := range []string{"a", "b", "c"} {
+		if err := a.Register(id, meter.New(), func(msg Message) error {
+			got++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.SetDelay(0.7)
+	for i := 0; i < 10; i++ {
+		if err := a.Broadcast("a", fmt.Sprintf("t%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got != 20 || a.Pending() != 0 {
+		t.Fatalf("delivered %d (pending %d), want 20/0", got, a.Pending())
+	}
+}

@@ -28,6 +28,16 @@ type Message struct {
 	Payload []byte
 }
 
+// TypePeerDown labels the control message a failure-aware medium injects
+// into survivors' inboxes when a node crashes or disconnects: From names
+// the dead peer and the payload is empty. It is not a protocol message —
+// the engine surfaces it as an EventPeerDown lifecycle event so the
+// application can launch a Leave re-key over the survivors.
+const TypePeerDown = "ctl/peer-down"
+
+// PeerDown builds the control message announcing a dead peer.
+func PeerDown(id string) Message { return Message{From: id, Type: TypePeerDown} }
+
 // Medium is the communication abstraction the protocol orchestrators run
 // over. *Network implements it in-memory; internal/transport implements it
 // over real TCP sockets with identical delivery semantics (a send returns

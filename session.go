@@ -3,10 +3,25 @@ package idgka
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"idgka/internal/engine"
 	"idgka/internal/netsim"
 )
+
+// ErrSessionTimeout classifies sessions failed by an expired deadline with
+// no retransmission budget left; match with errors.Is on Session.Err.
+var ErrSessionTimeout = errors.New("idgka: session deadline exceeded")
+
+// PeerDownPacket builds the control packet a failure-aware medium injects
+// when a peer dies (the TCP transport and netsim.Async do this on
+// disconnect/crash). Applications that own their routing can synthesize it
+// from their own failure detector and feed it through any session handle:
+// the member records the death, fires the SetPeerDownHandler hook, and the
+// packet is never treated as protocol traffic.
+func PeerDownPacket(peer string) Packet {
+	return Packet{From: peer, Type: netsim.TypePeerDown}
+}
 
 // Packet is one protocol message as routed by an event-driven deployment.
 // An empty To means broadcast to every group member. StateLen marks the
@@ -50,10 +65,20 @@ type Session struct {
 	sid    string
 	outbox []Packet
 	done   bool
+	closed bool
 	err    error
 	// Terminal results, cached when the flow commits.
 	key    []byte
 	roster []string
+
+	// Timeout/retransmit runtime (see SetDeadline and Tick). start
+	// re-drives the flow's opening transitions under a fresh attempt
+	// number; retryArmed marks a pending engine.Retryable failure;
+	// attempts counts restarts against the member's MaxRetries budget.
+	start      func() ([]engine.Outbound, []engine.Event, error)
+	deadline   time.Time
+	retryArmed bool
+	attempts   int
 }
 
 // newHandle registers a session handle and runs the flow's opening
@@ -63,7 +88,7 @@ func (mb *Member) newHandle(sid string,
 	if sid == "" {
 		return nil, errors.New("idgka: session id must be non-empty")
 	}
-	s := &Session{mb: mb, sid: sid}
+	s := &Session{mb: mb, sid: sid, start: start}
 	if mb.sessions == nil {
 		mb.sessions = map[string]*Session{}
 	}
@@ -184,6 +209,13 @@ func (s *Session) ingest(outs []engine.Outbound, evts []engine.Event) {
 		})
 	}
 	for _, ev := range evts {
+		if ev.Kind == engine.EventPeerDown {
+			// Member-level, not session-level: record the death and fire
+			// the application hook (which typically launches LeaveSession
+			// over every group shared with the dead peer).
+			s.mb.notePeerDown(ev.Peer)
+			continue
+		}
 		target := s
 		if ev.SID != s.sid {
 			if target = s.mb.sessions[ev.SID]; target == nil {
@@ -206,6 +238,16 @@ func (s *Session) ingest(outs []engine.Outbound, evts []engine.Event) {
 			// (The engine fires at most one terminal event per flow.)
 			delete(s.mb.sessions, target.sid)
 		case engine.EventFailed:
+			if ev.Retryable && target.start != nil && target.attempts < target.mb.retries {
+				// The paper's "all members retransmit again" signal: the
+				// engine already retired the failed attempt, so instead of
+				// failing terminally, arm the retransmit scheduler — the
+				// next Tick re-drives the flow under a fresh attempt
+				// number. Buffered traffic of peers that already moved to
+				// the new attempt stays queued and is replayed on restart.
+				target.retryArmed = true
+				continue
+			}
 			// A failed flow is terminal too: Done must release the
 			// application's routing loop, with Err/Key telling success
 			// from failure.
@@ -256,19 +298,102 @@ func (s *Session) Roster() []string {
 	return append([]string(nil), s.roster...)
 }
 
+// SetDeadline arms a one-shot deadline: the first Tick at or past t either
+// retransmits the flow (when budget remains — a deadline expiry is treated
+// as lost traffic) or fails the session with ErrSessionTimeout. Restarts
+// clear the deadline; re-arm it after draining the restart's Outbox. The
+// zero time disarms.
+func (s *Session) SetDeadline(t time.Time) { s.deadline = t }
+
+// Attempts reports how many retransmission restarts the session has
+// consumed (bounded by Config.MaxRetries).
+func (s *Session) Attempts() int { return s.attempts }
+
+// Tick drives the session's timeout/retransmit runtime and must be called
+// periodically with the current time by the application's event loop (it
+// is cheap when nothing is due). Two conditions trigger it: a pending
+// engine.Retryable failure — the paper's "all members retransmit again"
+// signal, armed by HandleMessage instead of failing the session — and an
+// expired deadline (lost traffic, or a dead peer that will never answer).
+// Either way the flow is re-driven under a fresh attempt number and the
+// restart's opening messages appear in Outbox; peers restart their side by
+// their own ticks, and stale traffic of superseded attempts is discarded
+// by the engine. Once the MaxRetries budget is exhausted the session fails
+// terminally: a retryable failure with its own error, an expired deadline
+// with ErrSessionTimeout. Tick returns the session error, nil while the
+// session is still live (or already committed).
+func (s *Session) Tick(now time.Time) error {
+	if s.done {
+		return s.err
+	}
+	if cur := s.mb.sessions[s.sid]; cur != s {
+		// A newer handle reused the sid (the restart pattern Close's doc
+		// endorses); this stale handle must not tear down — or re-drive —
+		// the successor's flow. Fail it locally.
+		s.done = true
+		if s.err == nil {
+			s.err = fmt.Errorf("idgka: session %q superseded by a newer handle", s.sid)
+		}
+		return s.err
+	}
+	expired := !s.deadline.IsZero() && !now.Before(s.deadline)
+	if !s.retryArmed && !expired {
+		return nil
+	}
+	if s.start == nil || s.attempts >= s.mb.retries {
+		s.done = true
+		if s.err == nil {
+			if expired {
+				s.err = fmt.Errorf("idgka: session %q: %w", s.sid, ErrSessionTimeout)
+			} else {
+				s.err = fmt.Errorf("idgka: session %q: retransmission budget exhausted", s.sid)
+			}
+		}
+		delete(s.mb.sessions, s.sid)
+		s.mb.inner.Machine().Abort(s.sid)
+		s.mb.inner.Machine().Release(s.sid)
+		return s.err
+	}
+	s.retryArmed = false
+	s.deadline = time.Time{}
+	s.attempts++
+	// Restarting the same session id supersedes whatever attempt is still
+	// in flight: the machine assigns attempt+1, replays any buffered
+	// traffic peers already sent for it, and drops the stale attempt's.
+	outs, evts, err := s.start()
+	if err != nil {
+		s.done = true
+		s.err = err
+		delete(s.mb.sessions, s.sid)
+		return s.err
+	}
+	s.ingest(outs, evts)
+	return s.err
+}
+
 // Close abandons a session that can no longer make progress (e.g. a peer
 // died mid-establishment and the application timed out): the in-flight
 // flow, its buffered traffic and the registry entry are discarded. On a
 // completed session Close releases the machine-side group committed
 // under this sid — call it once the group has been superseded by a later
 // dynamic session (or is otherwise no longer needed), after which the
-// sid can no longer serve as a base.
+// sid can no longer serve as a base. Close is idempotent: repeated calls
+// are no-ops, and cannot disturb a newer session reusing the id.
 func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
 	if !s.done {
 		s.done = true
 		if s.err == nil {
 			s.err = fmt.Errorf("idgka: session %q closed", s.sid)
 		}
+	}
+	// A newer handle may have been opened under the same sid since this
+	// one completed; its flow and registry entry are not ours to discard.
+	if cur := s.mb.sessions[s.sid]; cur != nil && cur != s {
+		return
 	}
 	delete(s.mb.sessions, s.sid)
 	s.mb.inner.Machine().Abort(s.sid)

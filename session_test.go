@@ -2,8 +2,13 @@ package idgka
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
+	"time"
+
+	"idgka/internal/engine"
+	"idgka/internal/wire"
 )
 
 // routePackets delivers queued packets FIFO among the sessions until
@@ -335,5 +340,248 @@ func TestSessionCrossRouting(t *testing.T) {
 	}
 	if bytes.Equal(sessA[roster[0]].Key(), sessB[roster[0]].Key()) {
 		t.Fatal("concurrent sessions derived the same key")
+	}
+}
+
+// TestSessionRetransmitRecovery exercises the timeout/retransmit runtime
+// end to end: a corrupted round-1 message fails alice's flow with the
+// engine's Retryable signal, which arms the retransmit scheduler instead
+// of killing the session. Alice's Tick re-drives the flow under a fresh
+// attempt; bob — wedged on the stale attempt — is restarted by his own
+// deadline-driven Tick; both converge on one key, exactly the paper's
+// "all members retransmit again" loop without a coordinator.
+func TestSessionRetransmitRecovery(t *testing.T) {
+	auth, err := NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	roster := []string{"rt-01", "rt-02"}
+	alice, err := auth.NewMember(roster[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := auth.NewMember(roster[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := alice.NewSession("room-rt", roster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := bob.NewSession("room-rt", roster)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A corrupted round-1 (valid session envelope, garbage protocol
+	// payload) claiming to come from bob: alice's flow fails retryable.
+	env := wire.NewBuffer().PutString("room-rt").PutUint(0).Bytes()
+	bad := Packet{From: roster[1], Type: engine.MsgRound1, Payload: append(env, 0xde, 0xad)}
+	if err := sa.HandleMessage(bad); err != nil {
+		t.Fatalf("retryable failure surfaced as terminal: %v", err)
+	}
+	if sa.Done() {
+		t.Fatal("session terminal after a retryable failure")
+	}
+
+	// Alice's tick retransmits; her restart traffic reaches bob early and
+	// is buffered under the new attempt.
+	now := time.Now()
+	if err := sa.Tick(now); err != nil {
+		t.Fatal(err)
+	}
+	if sa.Attempts() != 1 {
+		t.Fatalf("Attempts = %d after one restart", sa.Attempts())
+	}
+	restart := sa.Outbox()
+	if len(restart) == 0 {
+		t.Fatal("restart produced no retransmission")
+	}
+	for _, p := range restart {
+		if err := sb.HandleMessage(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Bob's deadline expires: his tick abandons the stale attempt and
+	// re-drives the flow, replaying alice's buffered restart traffic.
+	sb.SetDeadline(now)
+	if err := sb.Tick(now); err != nil {
+		t.Fatal(err)
+	}
+	routePackets(t, map[string]*Session{roster[0]: sa, roster[1]: sb})
+
+	if !sa.Done() || !sb.Done() {
+		t.Fatalf("not converged: a=%v b=%v", sa.Done(), sb.Done())
+	}
+	if sa.Key() == nil || !bytes.Equal(sa.Key(), sb.Key()) {
+		t.Fatal("retransmitted session keys disagree")
+	}
+}
+
+// TestSessionDeadlineTimeout: with no peer answering, each expired
+// deadline consumes one retransmission; once the budget is gone the
+// session fails terminally with ErrSessionTimeout.
+func TestSessionDeadlineTimeout(t *testing.T) {
+	auth, err := NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := auth.NewMember("to-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := alice.NewSession("room-to", []string{"to-01", "to-99"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	if err := s.Tick(now); err != nil || s.Attempts() != 0 {
+		t.Fatalf("tick without deadline acted: %v, attempts %d", err, s.Attempts())
+	}
+	for want := 1; want <= 2; want++ { // MaxRetries defaults to 2
+		s.SetDeadline(now)
+		if err := s.Tick(now); err != nil {
+			t.Fatalf("restart %d failed: %v", want, err)
+		}
+		if s.Attempts() != want || s.Done() {
+			t.Fatalf("after deadline %d: attempts %d, done %v", want, s.Attempts(), s.Done())
+		}
+		if len(s.Outbox()) == 0 {
+			t.Fatalf("restart %d sent nothing", want)
+		}
+	}
+	s.SetDeadline(now)
+	err = s.Tick(now)
+	if !errors.Is(err, ErrSessionTimeout) {
+		t.Fatalf("want ErrSessionTimeout, got %v", err)
+	}
+	if !s.Done() || s.Err() == nil || s.Key() != nil {
+		t.Fatal("timed-out session not terminal")
+	}
+}
+
+// TestPeerDownHandlerAndDeadPeers: a peer-down control packet fed through
+// any session handle records the death once, fires the handler once, and
+// is never treated as protocol traffic.
+func TestPeerDownHandlerAndDeadPeers(t *testing.T) {
+	auth, err := NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := auth.NewMember("pd-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired []string
+	alice.SetPeerDownHandler(func(peer string) { fired = append(fired, peer) })
+	s, err := alice.NewSession("room-pd", []string{"pd-01", "pd-02"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // duplicate notices collapse
+		if err := s.HandleMessage(PeerDownPacket("pd-02")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(fired) != 1 || fired[0] != "pd-02" {
+		t.Fatalf("handler fired %v", fired)
+	}
+	if dead := alice.DeadPeers(); len(dead) != 1 || dead[0] != "pd-02" {
+		t.Fatalf("DeadPeers = %v", dead)
+	}
+	if s.Done() {
+		t.Fatal("peer-down notice terminated the session")
+	}
+}
+
+// TestSessionCloseIdempotent: Close is safe to repeat and cannot disturb
+// a newer session that reused the id.
+func TestSessionCloseIdempotent(t *testing.T) {
+	auth, err := NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	roster := []string{"cl-01", "cl-02"}
+	members := make([]*Member, 2)
+	sessions := map[string]*Session{}
+	for i, id := range roster {
+		if members[i], err = auth.NewMember(id); err != nil {
+			t.Fatal(err)
+		}
+		if sessions[id], err = members[i].NewSession("room-cl", roster); err != nil {
+			t.Fatal(err)
+		}
+	}
+	routePackets(t, sessions)
+	first := sessions[roster[0]]
+	if !first.Done() || first.Key() == nil {
+		t.Fatal("establishment failed")
+	}
+
+	// A new handle reuses the sid (retransmission-style restart); closing
+	// the COMPLETED old handle must not tear the new flow or the
+	// committed base group down.
+	second, err := members[0].NewSession("room-cl", roster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.Close()
+	first.Close() // idempotent
+	if members[0].inner.Machine().Session("room-cl") == nil {
+		t.Fatal("closing a superseded handle released the live session's group")
+	}
+	if second.Done() {
+		t.Fatal("closing a superseded handle killed the new flow")
+	}
+	second.Close()
+	second.Close() // idempotent on an aborted in-flight session too
+	if !second.Done() || second.Err() == nil {
+		t.Fatal("closed in-flight session not terminal")
+	}
+	if members[0].inner.Machine().Session("room-cl") != nil {
+		t.Fatal("owning handle's Close did not release the group")
+	}
+}
+
+// TestSessionTickSupersededHandle: a stale handle's Tick must fail
+// locally instead of tearing down (or re-driving) a newer session that
+// reused the sid.
+func TestSessionTickSupersededHandle(t *testing.T) {
+	auth, err := NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := auth.NewMember("sp-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	roster := []string{"sp-01", "sp-02"}
+	old, err := alice.NewSession("room-sp", roster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := alice.NewSession("room-sp", roster) // supersedes old
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	old.SetDeadline(now)
+	for i := 0; i < 4; i++ { // budget exhausted and beyond
+		old.Tick(now)
+		old.SetDeadline(now)
+	}
+	if !old.Done() || old.Err() == nil {
+		t.Fatal("stale handle not failed")
+	}
+	if fresh.Done() {
+		t.Fatal("stale handle's Tick killed the live session")
+	}
+	if alice.sessions["room-sp"] != fresh {
+		t.Fatal("stale handle's Tick dropped the live registry entry")
+	}
+	// The live handle still ticks/restarts normally.
+	fresh.SetDeadline(now)
+	if err := fresh.Tick(now); err != nil || fresh.Attempts() != 1 {
+		t.Fatalf("live handle broken after stale tick: %v, attempts %d", err, fresh.Attempts())
 	}
 }
