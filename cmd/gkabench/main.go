@@ -10,6 +10,7 @@
 //	gkabench -table 5 -n 100 -m 20 -ld 20   # the paper's exact setting
 //	gkabench -figure 1 -measured 50    # measure counters up to n=50
 //	gkabench -accel -parallel 4        # acceleration-layer benchmark, 4 workers
+//	gkabench -groups 64                # multi-group serve throughput ladder (1,4,16,64)
 //
 // With -json the command emits one JSON document on stdout: the runner
 // fingerprint (GOMAXPROCS, Go version, -parallel), the run parameters
@@ -33,10 +34,12 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"idgka/internal/analytic"
 	"idgka/internal/experiments"
+	"idgka/internal/serve"
 )
 
 // record is one regenerated artifact in -json mode.
@@ -59,7 +62,36 @@ type document struct {
 	Params     map[string]int                `json:"params"`
 	Results    []record                      `json:"results"`
 	Ops        map[string]experiments.OpStat `json:"ops,omitempty"`
-	TotalMS    float64                       `json:"total_ms"`
+	// MultiGroup is the -groups serve-layer throughput ladder (additive;
+	// cmd/benchgate ignores it, so the schema number is unchanged).
+	MultiGroup []serve.GroupStat `json:"multi_group,omitempty"`
+	TotalMS    float64           `json:"total_ms"`
+}
+
+// groupLadder builds the rung counts for -groups N: powers of four up to
+// and always including N.
+func groupLadder(n int) []int {
+	var out []int
+	for c := 1; c < n; c *= 4 {
+		out = append(out, c)
+	}
+	return append(out, n)
+}
+
+// renderGroups formats the ladder as a text table.
+func renderGroups(stats []serve.GroupStat) string {
+	var b strings.Builder
+	if len(stats) > 0 {
+		fmt.Fprintf(&b, "Multi-group serve throughput (pool %d, ring %d, GOMAXPROCS %d)\n",
+			stats[0].Pool, stats[0].GroupSize, runtime.GOMAXPROCS(0))
+	}
+	fmt.Fprintf(&b, "%8s  %14s  %12s  %14s  %12s\n",
+		"groups", "establish/s", "est ms", "rekey/s", "rekey ms")
+	for _, s := range stats {
+		fmt.Fprintf(&b, "%8d  %14.1f  %12.1f  %14.1f  %12.1f\n",
+			s.Groups, s.EstablishPerSec, s.EstablishMS, s.RekeyPerSec, s.RekeyMS)
+	}
+	return strings.TrimRight(b.String(), "\n")
 }
 
 func main() {
@@ -74,11 +106,12 @@ func main() {
 	measured := flag.Int("measured", 10, "largest n measured (not extrapolated) in Figure 1")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
 	accel := flag.Bool("accel", false, "run the crypto acceleration-layer benchmark (tracked by the CI bench gate)")
+	groups := flag.Int("groups", 0, "multi-group serve-layer throughput ladder up to N concurrent groups (0 = skip)")
 	parallel := flag.Int("parallel", 0, "worker-pool size for accelerated runs (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit results as a JSON document on stdout")
 	flag.Parse()
 
-	if !*all && *table == 0 && *figure == 0 && !*ablations && !*accel {
+	if !*all && *table == 0 && *figure == 0 && !*ablations && !*accel && *groups <= 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -147,6 +180,19 @@ func main() {
 			}
 			doc.Ops = ops
 			return out, nil
+		})
+	}
+	if *groups > 0 {
+		run(fmt.Sprintf("Multi-group serve throughput (up to %d groups)", *groups), func() (string, error) {
+			stats, err := serve.BenchmarkGroups(groupLadder(*groups), serve.BenchOptions{
+				Accel:   *accel,
+				Workers: workers,
+			})
+			if err != nil {
+				return "", err
+			}
+			doc.MultiGroup = stats
+			return renderGroups(stats), nil
 		})
 	}
 	if *all || *ablations {

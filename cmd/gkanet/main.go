@@ -23,6 +23,13 @@
 // converge on (and confirm) a fresh key. Sends are bounded by
 // -send-timeout, so a wedged transport fails fast instead of hanging.
 //
+// With -serve the process instead hosts MANY groups at once through the
+// sharded internal/serve layer: every group is a rotated ring over the -n
+// nodes, all groups establish and confirm concurrently over one hub, and
+// the host's bounded worker pool (not a goroutine per node or session)
+// drives every member. -crash composes: each hosted group independently
+// evicts the victim and re-keys, cross-checked per group.
+//
 // A run can span several OS processes: one process starts the hub, the
 // others dial it with -connect, and -own names the subset of nodes each
 // process drives. A ready-barrier over the hub synchronises the processes
@@ -34,6 +41,8 @@
 //	gkanet -listen :7777            # choose the hub port
 //	gkanet -precompute -workers 4   # crypto acceleration (tables + pool)
 //	gkanet -n 5 -crash node-02@confirmed   # kill node-02, survivors re-key
+//	gkanet -n 4 -serve -groups 16          # host 16 concurrent groups
+//	gkanet -n 4 -serve -groups 8 -crash node-02@established
 //	gkanet -n 4 -own node-01,node-02 &     # multi-process: hub + 2 nodes,
 //	gkanet -n 4 -connect HOST:PORT -own node-03,node-04 -crash node-04@confirmed
 package main
@@ -50,12 +59,14 @@ import (
 	"sync"
 	"time"
 
+	"idgka"
 	"idgka/internal/core"
 	"idgka/internal/energy"
 	"idgka/internal/engine"
 	"idgka/internal/meter"
 	"idgka/internal/netsim"
 	"idgka/internal/params"
+	"idgka/internal/serve"
 	"idgka/internal/sigs/gq"
 	"idgka/internal/transport"
 )
@@ -79,6 +90,8 @@ func main() {
 	mode := flag.String("mode", "event", "execution mode: event (per-node state machines) or lockstep (driver)")
 	dynamic := flag.Bool("dynamic", true, "event mode: admit one joiner and evict one member after establishment")
 	crash := flag.String("crash", "", "event mode fault scenario: <id>@<phase> kills node id after phase (established|confirmed); survivors evict it via Leave and re-key")
+	serveMode := flag.Bool("serve", false, "host -groups concurrent groups (rotated rings over the -n nodes) through the sharded internal/serve layer; composes with -crash")
+	groups := flag.Int("groups", 8, "group count for -serve")
 	sendTimeout := flag.Duration("send-timeout", 15*time.Second, "per-delivery deadline on every Broadcast/Send (0 = unbounded)")
 	precompute := flag.Bool("precompute", false, "build fixed-base tables for the generator and identity keys")
 	workers := flag.Int("workers", 0, "per-node verification worker pool size (0 or 1 = sequential)")
@@ -95,6 +108,20 @@ func main() {
 	}
 	if victim != "" && *mode != "event" {
 		log.Fatal("-crash needs -mode event")
+	}
+	if *serveMode {
+		if *mode != "event" {
+			log.Fatal("-serve needs -mode event")
+		}
+		if *connect != "" || *own != "" {
+			log.Fatal("-serve is single-process (no -connect/-own)")
+		}
+		if *groups < 1 {
+			log.Fatal("-groups must be >= 1")
+		}
+		if victim != "" && *n < 3 {
+			log.Fatal("-serve -crash needs -n >= 3 (survivor rings must keep >= 2 members)")
+		}
 	}
 
 	var router *transport.Router
@@ -119,7 +146,7 @@ func main() {
 		VerifyWorkers: *workers,
 	}}
 	total := *n
-	if *mode == "event" && *dynamic && victim == "" {
+	if *mode == "event" && *dynamic && victim == "" && !*serveMode {
 		total = *n + 1 // the node admitted by the Join demo
 	}
 	ids := make([]string, total)
@@ -158,6 +185,28 @@ func main() {
 	var fingerprint [32]byte
 	start := time.Now()
 	switch {
+	case *serveMode:
+		fps, err := p.serveScenario(roster, *groups, victim, phase, idgka.Config{
+			Precompute:    *precompute,
+			VerifyWorkers: *workers,
+		})
+		if err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+		elapsed := time.Since(start)
+		for g, fp := range fps {
+			fmt.Printf("group g%02d key fingerprint: %x\n", g, fp[:8])
+		}
+		if victim != "" {
+			fmt.Printf("\ncrash: %s killed at phase %q; survivors evicted it per group and re-keyed\n", victim, phase)
+		}
+		fmt.Printf("serve: %d groups converged on confirmed keys over TCP in %v (%d nodes)\n",
+			len(fps), elapsed.Round(time.Millisecond), *n)
+		for i, id := range p.ids {
+			r := p.meters[i].Report()
+			fmt.Printf("  %-8s tx=%dB rx=%dB\n", id, r.BytesTx, r.BytesRx)
+		}
+		return
 	case *mode == "lockstep":
 		if p.barrierTotal > 0 {
 			log.Fatal("-connect/-own need -mode event")
@@ -643,6 +692,205 @@ func (p *proc) lifecycle(roster []string, joiner, evictee string) ([][32]byte, e
 	})
 	if err != nil {
 		return nil, err
+	}
+	return fps, nil
+}
+
+// serveScenario is the multi-group deployment: all -n nodes live in ONE
+// process behind one serve.Host, every group is a rotated ring over the
+// full node set (so controllers differ), and all groups establish and
+// confirm concurrently over the shared TCP hub — the host's shard workers
+// replace the goroutine-per-node drivers of the other scenarios. With a
+// victim, the crash composes per group: the victim's connection dies, the
+// hub's peer-down frames reach every hosted member, wedged confirmation
+// runs are cancelled, and each group independently evicts the victim via
+// Leave and confirms a fresh key. Returns the final per-group
+// fingerprints (cross-checked across members).
+func (p *proc) serveScenario(roster []string, groups int, victim, phase string, mcfg idgka.Config) ([][32]byte, error) {
+	auth, err := idgka.NewAuthority()
+	if err != nil {
+		return nil, err
+	}
+	host := serve.NewHost(serve.Config{Deadline: 30 * time.Second}, func(from string, pkt idgka.Packet) error {
+		var err error
+		if pkt.To == "" {
+			err = p.router.BroadcastState(from, pkt.Type, pkt.Payload, pkt.StateLen)
+		} else {
+			err = p.router.SendState(from, pkt.To, pkt.Type, pkt.Payload, pkt.StateLen)
+		}
+		var pd *transport.PeerDownError
+		if errors.As(err, &pd) {
+			// The message reached every SURVIVING recipient; the dead
+			// peer is handled by the eviction flows.
+			return nil
+		}
+		return err
+	})
+	defer host.Close()
+
+	members := map[string]*idgka.Member{}
+	for _, id := range roster {
+		mb, err := auth.NewMemberWithConfig(id, mcfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := host.AddMember(mb); err != nil {
+			return nil, err
+		}
+		members[id] = mb
+	}
+	// Pumps: one per node, draining the router inbox into the host. They
+	// exit when the router (or the node's attachment) goes down — the
+	// caller's deferred router.Close, not this function, reaps them;
+	// delivering into a closed host is a no-op.
+	for _, id := range roster {
+		go func(id string) {
+			for {
+				msgs, err := p.router.RecvWait(id)
+				if err != nil {
+					return
+				}
+				for _, m := range msgs {
+					_ = host.Deliver(id, idgka.Packet{From: m.From, To: m.To, Type: m.Type, Payload: m.Payload})
+				}
+			}
+		}(id)
+	}
+
+	rings := make([][]string, groups)
+	for g := range rings {
+		k := g % len(roster)
+		rings[g] = append(append([]string(nil), roster[k:]...), roster[:k]...)
+	}
+	sidEst := func(g int) string { return fmt.Sprintf("serve/g%02d/est", g) }
+
+	// Establish every group concurrently.
+	est := make([][]*serve.Run, groups)
+	for g, ring := range rings {
+		for _, id := range ring {
+			sid, ring := sidEst(g), ring
+			r, err := host.Start(id, func(mb *idgka.Member) (*idgka.Session, error) {
+				return mb.NewSession(sid, ring)
+			})
+			if err != nil {
+				return nil, err
+			}
+			est[g] = append(est[g], r)
+		}
+	}
+	keys, err := serve.SettleGroups("establish", est, 2*time.Minute)
+	if err != nil {
+		return nil, err
+	}
+	fps := make([][32]byte, groups)
+	for g := range keys {
+		fps[g] = sha256.Sum256(keys[g])
+	}
+
+	confirmAll := func(tag string, ringOf func(g int) []string, baseOf func(g int) string) ([][]*serve.Run, error) {
+		runs := make([][]*serve.Run, groups)
+		for g := 0; g < groups; g++ {
+			for _, id := range ringOf(g) {
+				sid, base := fmt.Sprintf("serve/g%02d/%s", g, tag), baseOf(g)
+				r, err := host.Start(id, func(mb *idgka.Member) (*idgka.Session, error) {
+					return mb.ConfirmSession(sid, base)
+				})
+				if err != nil {
+					return nil, err
+				}
+				runs[g] = append(runs[g], r)
+			}
+		}
+		return runs, nil
+	}
+
+	if victim == "" || phase == phaseConfirmed {
+		cfm, err := confirmAll("cfm", func(g int) []string { return rings[g] }, sidEst)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := serve.SettleGroups("confirm", cfm, 2*time.Minute); err != nil {
+			return nil, err
+		}
+	}
+	if victim == "" {
+		return fps, nil
+	}
+
+	// Crash: the victim's connection dies. At phase "established" the
+	// survivors' confirmation runs are already in flight and genuinely
+	// wedge — the peer-down notice is what unblocks them (via Cancel).
+	survivorsOf := func(g int) []string {
+		out := make([]string, 0, len(rings[g])-1)
+		for _, id := range rings[g] {
+			if id != victim {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	var wedged [][]*serve.Run
+	if phase == phaseEstablished {
+		w, err := confirmAll("cfm", survivorsOf, sidEst)
+		if err != nil {
+			return nil, err
+		}
+		wedged = w
+	}
+	p.router.Detach(victim)
+
+	// Every surviving member learns of the death through the hub's
+	// peer-down frames.
+	waitDead := time.Now().Add(30 * time.Second)
+	for _, id := range roster {
+		if id == victim {
+			continue
+		}
+		for !slices.Contains(members[id].DeadPeers(), victim) {
+			if time.Now().After(waitDead) {
+				return nil, fmt.Errorf("%s never observed the death of %s", id, victim)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	for _, runs := range wedged {
+		for _, r := range runs {
+			r.Cancel()
+		}
+	}
+
+	// Per group: evict the victim via Leave and confirm the fresh key.
+	evict := make([][]*serve.Run, groups)
+	for g := 0; g < groups; g++ {
+		for _, id := range survivorsOf(g) {
+			sid, base := fmt.Sprintf("serve/g%02d/evict", g), sidEst(g)
+			r, err := host.Start(id, func(mb *idgka.Member) (*idgka.Session, error) {
+				return mb.LeaveSession(sid, base, []string{victim})
+			})
+			if err != nil {
+				return nil, err
+			}
+			evict[g] = append(evict[g], r)
+		}
+	}
+	if _, err := serve.SettleGroups("evict", evict, 2*time.Minute); err != nil {
+		return nil, err
+	}
+	cfm2, err := confirmAll("cfm-evict",
+		survivorsOf, func(g int) string { return fmt.Sprintf("serve/g%02d/evict", g) })
+	if err != nil {
+		return nil, err
+	}
+	fresh, err := serve.SettleGroups("confirm-evict", cfm2, 2*time.Minute)
+	if err != nil {
+		return nil, err
+	}
+	for g := range fresh {
+		fp := sha256.Sum256(fresh[g])
+		if fp == fps[g] {
+			return nil, fmt.Errorf("g%02d: eviction did not rotate the key", g)
+		}
+		fps[g] = fp
 	}
 	return fps, nil
 }

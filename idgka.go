@@ -62,6 +62,11 @@
 //	jd, _ := dave.JoinSession("room-7/j1", "", roster, "dave")       // the joiner
 //	ls, _ := alice.LeaveSession("room-7/l1", "room-7/j1", []string{"bob"})
 //	cs, _ := alice.ConfirmSession("room-7/c1", "room-7/l1")
+//
+// Members and their Session handles are safe for concurrent use (see the
+// Member doc for the exact contract); internal/serve builds a sharded
+// multi-group host on top of them for processes that serve thousands of
+// concurrent groups over one transport.
 package idgka
 
 import (
@@ -69,6 +74,7 @@ import (
 	"errors"
 	"io"
 	"sort"
+	"sync"
 
 	"idgka/internal/core"
 	"idgka/internal/energy"
@@ -148,14 +154,30 @@ func newAuthority(set *params.Set) (*Authority, error) {
 }
 
 // Member is one protocol participant, bound to an extracted identity key.
+//
+// A Member is safe for concurrent use: the event-driven Session API
+// (HandleMessage, Outbox, Tick, Close, the Start*/New* constructors,
+// HandlePacket) and the member accessors (GroupKey, Roster, DeadPeers,
+// SetPeerDownHandler) may be called from any goroutine. One mutex
+// serializes the member's protocol machine, so work on DIFFERENT members
+// proceeds in parallel while each member's cryptography stays ordered.
+// The lockstep helpers (Establish, Join, ...) are the one exception:
+// they drive several members' machines from one goroutine and require
+// exclusive use of every member they touch for the duration of the call.
 type Member struct {
 	inner *core.Member
 	m     *meter.Meter
+	// mu guards the protocol machine and all mutable member state below:
+	// the session-handle registry, every Session handle's fields, and the
+	// peer-down record. The peer-down handler is NOT invoked under mu —
+	// it runs after the lock is released, so it may call back into the
+	// member (e.g. to launch LeaveSession).
+	mu sync.Mutex
 	// sessions routes engine lifecycle events to the owning event-driven
 	// Session handle (see session.go).
 	sessions map[string]*Session
 	// retries is the per-flow retransmission budget the session runtime
-	// enforces (Config.MaxRetries, defaulted).
+	// enforces (Config.MaxRetries, defaulted); immutable after creation.
 	retries int
 	// dead records peers the medium reported down; onPeerDown is the
 	// application's notification hook (see SetPeerDownHandler).
@@ -199,6 +221,8 @@ func (mb *Member) ID() string { return mb.inner.ID() }
 // GroupKey returns the current group key as key material for a symmetric
 // session (nil before a session is established).
 func (mb *Member) GroupKey() []byte {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
 	k := mb.inner.Key()
 	if k == nil {
 		return nil
@@ -208,6 +232,8 @@ func (mb *Member) GroupKey() []byte {
 
 // Roster returns the current ring order, or nil before establishment.
 func (mb *Member) Roster() []string {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
 	s := mb.inner.Session()
 	if s == nil {
 		return nil
@@ -216,16 +242,23 @@ func (mb *Member) Roster() []string {
 }
 
 // SetPeerDownHandler installs the peer-death notification hook: it fires
-// (from the goroutine driving this member's sessions) the first time the
-// medium reports each peer dead — a netsim.TypePeerDown control packet fed
-// through any of the member's session handles, as the TCP transport and
-// the async simulator inject on disconnect/crash. The idiomatic reaction
-// is to evict the peer from every shared group via LeaveSession, re-keying
-// the survivors.
-func (mb *Member) SetPeerDownHandler(f func(peer string)) { mb.onPeerDown = f }
+// the first time the medium reports each peer dead — a netsim.TypePeerDown
+// control packet fed through any of the member's session handles (or
+// HandlePacket), as the TCP transport and the async simulator inject on
+// disconnect/crash. The handler runs on the goroutine that delivered the
+// notice, AFTER the member lock is released, so it may call back into the
+// member — the idiomatic reaction is to evict the peer from every shared
+// group via LeaveSession, re-keying the survivors.
+func (mb *Member) SetPeerDownHandler(f func(peer string)) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.onPeerDown = f
+}
 
 // DeadPeers returns the peers the medium has reported down, sorted.
 func (mb *Member) DeadPeers() []string {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
 	out := make([]string, 0, len(mb.dead))
 	for id := range mb.dead {
 		out = append(out, id)
@@ -234,18 +267,18 @@ func (mb *Member) DeadPeers() []string {
 	return out
 }
 
-// notePeerDown records a peer death exactly once and fires the handler.
-func (mb *Member) notePeerDown(peer string) {
+// notePeerDownLocked records a peer death exactly once; it returns the
+// handler to fire once the member lock is released, or nil for repeat
+// notices (and when no handler is installed).
+func (mb *Member) notePeerDownLocked(peer string) func(string) {
 	if mb.dead == nil {
 		mb.dead = map[string]bool{}
 	}
 	if mb.dead[peer] {
-		return
+		return nil
 	}
 	mb.dead[peer] = true
-	if mb.onPeerDown != nil {
-		mb.onPeerDown(peer)
-	}
+	return mb.onPeerDown
 }
 
 // Report snapshots the member's operation counters.

@@ -120,8 +120,13 @@ func (c Config) Retries() int {
 
 // Outbound is one message a machine wants delivered. An empty To means
 // broadcast. StateLen marks the trailing bytes of the payload that carry
-// session-state transfer (metered separately from protocol traffic).
+// session-state transfer (metered separately from protocol traffic). SID
+// names the session the outbound belongs to — the same id already carried
+// in the payload envelope, surfaced so routing layers can hand the message
+// to the owning session handle without parsing the payload; it is empty in
+// legacy wire mode and never serialized.
 type Outbound struct {
+	SID      string
 	To       string
 	Type     string
 	Payload  []byte
@@ -224,7 +229,9 @@ type runningFlow struct {
 }
 
 // Machine is the per-member protocol engine. It is not safe for concurrent
-// use: each member drives its own machine from a single goroutine.
+// use on its own: callers serialize access per machine — the public
+// idgka.Member does so with its member mutex (making the Session API
+// goroutine-safe), the lockstep drivers by construction.
 type Machine struct {
 	cfg Config
 	id  string
@@ -473,6 +480,17 @@ func (mc *Machine) Release(sid string) {
 	delete(mc.early, sid)
 }
 
+// Buffered reports the number of early-buffered messages the machine
+// holds for one session id (diagnostics; tests assert teardown paths
+// leave nothing behind).
+func (mc *Machine) Buffered(sid string) int { return len(mc.early[sid]) }
+
+// ActiveFlow reports whether a flow is currently running under sid.
+func (mc *Machine) ActiveFlow(sid string) bool {
+	_, ok := mc.flows[sid]
+	return ok
+}
+
 // Abort discards the flow (and any buffered traffic) of a session, e.g.
 // between retransmission attempts. The aborted attempt number is
 // retired, so a subsequent Start of the same session id uses a fresh
@@ -502,8 +520,21 @@ func (mc *Machine) wrapOuts(rf *runningFlow, outs []Outbound) []Outbound {
 	for i := range outs {
 		env := wire.NewBuffer().PutString(rf.sid).PutUint(rf.attempt).Bytes()
 		outs[i].Payload = append(env, outs[i].Payload...)
+		outs[i].SID = rf.sid
 	}
 	return outs
+}
+
+// EnvelopeSID peeks the session id out of an enveloped payload without
+// consuming it, or "" for legacy-mode and non-engine payloads. Serve
+// layers use it to map an inbound packet to the session it can complete.
+func EnvelopeSID(payload []byte) string {
+	r := wire.NewReader(payload)
+	sid := r.String()
+	if r.Err() != nil {
+		return ""
+	}
+	return sid
 }
 
 // Step ingests one delivered message and returns the member's reaction:

@@ -43,9 +43,13 @@ type Packet struct {
 // member can run any number of concurrent sessions; out-of-order and
 // duplicated deliveries are tolerated, and an inbound packet may be fed
 // through ANY of the member's session handles — the wire envelope names
-// the session, so completions are routed to the owning handle even when
-// another handle stepped the machine. A member's sessions must be driven
-// from a single goroutine.
+// the session, so both completions AND outbound reactions are routed to
+// the owning handle even when another handle stepped the machine.
+//
+// Sessions are safe for concurrent use: HandleMessage, Outbox, Tick and
+// Close (and every other method) may be called from any goroutine; the
+// member's mutex serializes the underlying machine. Handles of DIFFERENT
+// members never contend.
 //
 //	sess, _ := alice.NewSession("room-7", roster)
 //	for !sess.Done() {
@@ -61,8 +65,10 @@ type Packet struct {
 //	}
 //	key := sess.Key()
 type Session struct {
-	mb     *Member
-	sid    string
+	mb  *Member
+	sid string
+
+	// All fields below are guarded by mb.mu.
 	outbox []Packet
 	done   bool
 	closed bool
@@ -81,6 +87,119 @@ type Session struct {
 	attempts   int
 }
 
+// ingestResult carries the side effects of an ingestLocked call that must
+// happen after the member lock is released: peer-down handler invocations
+// (the handler may call back into the member) and — for member-level
+// HandlePacket ingestion — the reaction packets handed back to the caller.
+type ingestResult struct {
+	reactions []Packet
+	downFns   []func(string)
+	downPeers []string
+}
+
+// fire invokes the collected peer-down handlers; call it only after the
+// member lock has been released.
+func (r *ingestResult) fire() {
+	for i, fn := range r.downFns {
+		fn(r.downPeers[i])
+	}
+}
+
+// ingestLocked folds machine reactions into member/session state; the
+// caller holds mb.mu. Outbound packets are routed to the handle owning
+// their session id — the stepping handle is only the fallback for flows
+// run outside the Session API (legacy wire mode has no envelope). With a
+// nil stepping handle (member-level HandlePacket), ALL outbounds are
+// returned in the result for the caller to transmit. Lifecycle events are
+// always routed to the handle owning their session id.
+func (mb *Member) ingestLocked(stepping *Session, outs []engine.Outbound, evts []engine.Event) ingestResult {
+	var res ingestResult
+	for _, o := range outs {
+		pkt := Packet{
+			From: mb.inner.ID(), To: o.To, Type: o.Type, Payload: o.Payload, StateLen: o.StateLen,
+		}
+		if stepping == nil {
+			res.reactions = append(res.reactions, pkt)
+			continue
+		}
+		target := stepping
+		if o.SID != "" && o.SID != target.sid {
+			if owner := mb.sessions[o.SID]; owner != nil {
+				// The reaction belongs to a different live session: append
+				// it to the OWNING handle's outbox. Leaving it on the
+				// stepping handle would strand it once that handle reports
+				// Done and the application stops draining it.
+				target = owner
+			}
+		}
+		target.outbox = append(target.outbox, pkt)
+	}
+	for _, ev := range evts {
+		if ev.Kind == engine.EventPeerDown {
+			// Member-level, not session-level: record the death and defer
+			// the application hook (which typically launches LeaveSession
+			// over every group shared with the dead peer) until the lock
+			// is released.
+			if fn := mb.notePeerDownLocked(ev.Peer); fn != nil {
+				res.downFns = append(res.downFns, fn)
+				res.downPeers = append(res.downPeers, ev.Peer)
+			}
+			continue
+		}
+		target := mb.sessions[ev.SID]
+		if target == nil {
+			if stepping != nil && ev.SID == stepping.sid {
+				target = stepping
+			} else {
+				continue // a flow this member runs outside the Session API
+			}
+		}
+		switch ev.Kind {
+		case engine.EventEstablished, engine.EventConfirmed:
+			target.done = true
+			if ev.Group != nil {
+				// Establishment commits ev.Group; confirmation carries the
+				// flow's snapshot of the confirmed group.
+				target.key = ev.Group.Key.Bytes()
+				target.roster = append([]string(nil), ev.Group.Roster...)
+			}
+			// Terminal: cache the results above and drop the handle
+			// registry entry. The machine-side group stays registered
+			// under the sid — it is the base for later dynamic sessions —
+			// until the application calls Close.
+			// (The engine fires at most one terminal event per flow.)
+			delete(mb.sessions, target.sid)
+		case engine.EventFailed:
+			if ev.Retryable && target.start != nil && target.attempts < target.mb.retries {
+				// The paper's "all members retransmit again" signal: the
+				// engine already retired the failed attempt, so instead of
+				// failing terminally, arm the retransmit scheduler — the
+				// next Tick re-drives the flow under a fresh attempt
+				// number. Buffered traffic of peers that already moved to
+				// the new attempt stays queued and is replayed on restart.
+				target.retryArmed = true
+				continue
+			}
+			// A failed flow is terminal too: Done must release the
+			// application's routing loop, with Err/Key telling success
+			// from failure. Teardown matches Tick's budget-exhausted path
+			// (Abort + Release), so no live flow or buffered traffic of
+			// the dead session lingers in the machine.
+			target.done = true
+			delete(mb.sessions, target.sid)
+			mb.inner.Machine().Abort(target.sid)
+			mb.inner.Machine().Release(target.sid)
+			if target.err == nil {
+				target.err = ev.Err
+				if target.err == nil {
+					target.err = fmt.Errorf("idgka: session %q failed", target.sid)
+				}
+			}
+		}
+	}
+	return res
+}
+
 // newHandle registers a session handle and runs the flow's opening
 // transitions, unregistering again if the start is rejected.
 func (mb *Member) newHandle(sid string,
@@ -89,16 +208,25 @@ func (mb *Member) newHandle(sid string,
 		return nil, errors.New("idgka: session id must be non-empty")
 	}
 	s := &Session{mb: mb, sid: sid, start: start}
+	mb.mu.Lock()
 	if mb.sessions == nil {
 		mb.sessions = map[string]*Session{}
 	}
+	prev := mb.sessions[sid]
 	mb.sessions[sid] = s
 	outs, evts, err := start()
 	if err != nil {
-		delete(mb.sessions, sid)
+		if prev != nil {
+			mb.sessions[sid] = prev
+		} else {
+			delete(mb.sessions, sid)
+		}
+		mb.mu.Unlock()
 		return nil, err
 	}
-	s.ingest(outs, evts)
+	res := mb.ingestLocked(s, outs, evts)
+	mb.mu.Unlock()
+	res.fire()
 	return s, nil
 }
 
@@ -128,22 +256,23 @@ func (mb *Member) NewSession(sid string, roster []string) (*Session, error) {
 // extended group commits under sid, which becomes a valid base for later
 // dynamic sessions.
 func (mb *Member) JoinSession(sid, base string, oldRoster []string, joiner string) (*Session, error) {
-	if mb.ID() != joiner {
+	if mb.ID() != joiner && base == "" {
 		// The base must be explicit: an empty base would fall back to the
 		// machine's most recently committed group — exactly the recency
 		// aliasing the per-session registry exists to prevent.
-		if base == "" {
-			return nil, errors.New("idgka: JoinSession needs a base session id (only the joiner passes an empty base)")
-		}
-		if oldRoster == nil {
+		return nil, errors.New("idgka: JoinSession needs a base session id (only the joiner passes an empty base)")
+	}
+	return mb.newHandle(sid, func() ([]engine.Outbound, []engine.Event, error) {
+		// Snapshot the base ring under the member lock on the first start;
+		// restarts reuse the snapshot so a concurrent re-key cannot switch
+		// rings between attempts.
+		if mb.ID() != joiner && oldRoster == nil {
 			g := mb.inner.Machine().Session(base)
 			if g == nil {
-				return nil, fmt.Errorf("idgka: no committed session %q to join onto", base)
+				return nil, nil, fmt.Errorf("idgka: no committed session %q to join onto", base)
 			}
 			oldRoster = append([]string(nil), g.Roster...)
 		}
-	}
-	return mb.newHandle(sid, func() ([]engine.Outbound, []engine.Event, error) {
 		return mb.inner.Machine().StartJoin(sid, base, oldRoster, joiner)
 	})
 }
@@ -158,15 +287,23 @@ func (mb *Member) LeaveSession(sid, base string, leavers []string) (*Session, er
 	if base == "" {
 		return nil, errors.New("idgka: LeaveSession needs a base session id")
 	}
-	g := mb.inner.Machine().Session(base)
-	if g == nil {
-		return nil, fmt.Errorf("idgka: no committed session %q to leave from", base)
-	}
-	newRoster, refresh, err := engine.PlanLeave(g, leavers)
-	if err != nil {
-		return nil, err
-	}
+	var newRoster, refresh []string
+	planned := false
 	return mb.newHandle(sid, func() ([]engine.Outbound, []engine.Event, error) {
+		// Plan under the member lock on the first start; restarts reuse
+		// the plan (the base group snapshot is immutable anyway).
+		if !planned {
+			g := mb.inner.Machine().Session(base)
+			if g == nil {
+				return nil, nil, fmt.Errorf("idgka: no committed session %q to leave from", base)
+			}
+			var err error
+			newRoster, refresh, err = engine.PlanLeave(g, leavers)
+			if err != nil {
+				return nil, nil, err
+			}
+			planned = true
+		}
 		return mb.inner.Machine().StartPartition(sid, base, newRoster, refresh)
 	})
 }
@@ -198,85 +335,50 @@ func (mb *Member) ConfirmSession(sid, base string) (*Session, error) {
 	})
 }
 
-// ingest folds machine reactions into session state. Outbound packets go
-// to this handle's outbox (any handle may transmit them — the payloads
-// carry their own session envelope); lifecycle events are routed to the
-// handle owning their session id.
-func (s *Session) ingest(outs []engine.Outbound, evts []engine.Event) {
-	for _, o := range outs {
-		s.outbox = append(s.outbox, Packet{
-			From: s.mb.ID(), To: o.To, Type: o.Type, Payload: o.Payload, StateLen: o.StateLen,
-		})
-	}
-	for _, ev := range evts {
-		if ev.Kind == engine.EventPeerDown {
-			// Member-level, not session-level: record the death and fire
-			// the application hook (which typically launches LeaveSession
-			// over every group shared with the dead peer).
-			s.mb.notePeerDown(ev.Peer)
-			continue
-		}
-		target := s
-		if ev.SID != s.sid {
-			if target = s.mb.sessions[ev.SID]; target == nil {
-				continue // a flow this member runs outside the Session API
-			}
-		}
-		switch ev.Kind {
-		case engine.EventEstablished, engine.EventConfirmed:
-			target.done = true
-			if ev.Group != nil {
-				// Establishment commits ev.Group; confirmation carries the
-				// flow's snapshot of the confirmed group.
-				target.key = ev.Group.Key.Bytes()
-				target.roster = append([]string(nil), ev.Group.Roster...)
-			}
-			// Terminal: cache the results above and drop the handle
-			// registry entry. The machine-side group stays registered
-			// under the sid — it is the base for later dynamic sessions —
-			// until the application calls Close.
-			// (The engine fires at most one terminal event per flow.)
-			delete(s.mb.sessions, target.sid)
-		case engine.EventFailed:
-			if ev.Retryable && target.start != nil && target.attempts < target.mb.retries {
-				// The paper's "all members retransmit again" signal: the
-				// engine already retired the failed attempt, so instead of
-				// failing terminally, arm the retransmit scheduler — the
-				// next Tick re-drives the flow under a fresh attempt
-				// number. Buffered traffic of peers that already moved to
-				// the new attempt stays queued and is replayed on restart.
-				target.retryArmed = true
-				continue
-			}
-			// A failed flow is terminal too: Done must release the
-			// application's routing loop, with Err/Key telling success
-			// from failure.
-			target.done = true
-			delete(s.mb.sessions, target.sid)
-			s.mb.inner.Machine().Release(target.sid)
-			if target.err == nil {
-				target.err = ev.Err
-				if target.err == nil {
-					target.err = fmt.Errorf("idgka: session %q failed", target.sid)
-				}
-			}
-		}
-	}
+// HandlePacket feeds one delivered packet into the member's protocol
+// machine at member level — no session handle needed. It is the inbound
+// entry point for serve layers (internal/serve) that demultiplex a whole
+// transport inbox: the wire envelope routes the packet to its flow, and
+// lifecycle events still complete the owning Session handles (Done, Err,
+// Key). Unlike Session.HandleMessage, the reaction packets are RETURNED
+// for the caller to transmit instead of being appended to per-session
+// outboxes; a session's Outbox then only ever carries its own start and
+// Tick-restart traffic. Use either ingestion style per member, not both,
+// or be prepared to drain both paths.
+func (mb *Member) HandlePacket(p Packet) []Packet {
+	mb.mu.Lock()
+	outs, evts := mb.inner.Machine().Step(netsim.Message{
+		From: p.From, To: p.To, Type: p.Type, Payload: p.Payload,
+	})
+	res := mb.ingestLocked(nil, outs, evts)
+	mb.mu.Unlock()
+	res.fire()
+	return res.reactions
 }
 
+// SID returns the caller-chosen session id this handle was started under.
+func (s *Session) SID() string { return s.sid }
+
 // HandleMessage feeds one delivered packet into the member's protocol
-// machine. Reactions appear in Outbox; completion in Done. Messages of
-// other concurrent sessions are routed internally and never an error.
+// machine. Reactions appear in the owning session's Outbox; completion in
+// Done. Messages of other concurrent sessions are routed internally and
+// never an error.
 func (s *Session) HandleMessage(p Packet) error {
+	s.mb.mu.Lock()
 	outs, evts := s.mb.inner.Machine().Step(netsim.Message{
 		From: p.From, To: p.To, Type: p.Type, Payload: p.Payload,
 	})
-	s.ingest(outs, evts)
-	return s.err
+	res := s.mb.ingestLocked(s, outs, evts)
+	err := s.err
+	s.mb.mu.Unlock()
+	res.fire()
+	return err
 }
 
 // Outbox drains and returns the messages the member wants transmitted.
 func (s *Session) Outbox() []Packet {
+	s.mb.mu.Lock()
+	defer s.mb.mu.Unlock()
 	out := s.outbox
 	s.outbox = nil
 	return out
@@ -284,17 +386,31 @@ func (s *Session) Outbox() []Packet {
 
 // Done reports whether the session has reached a terminal state —
 // either committed (Key non-nil) or failed (Err non-nil).
-func (s *Session) Done() bool { return s.done }
+func (s *Session) Done() bool {
+	s.mb.mu.Lock()
+	defer s.mb.mu.Unlock()
+	return s.done
+}
 
 // Err returns the session's failure, if any.
-func (s *Session) Err() error { return s.err }
+func (s *Session) Err() error {
+	s.mb.mu.Lock()
+	defer s.mb.mu.Unlock()
+	return s.err
+}
 
 // Key returns the established session key material, or nil before Done
 // (and nil after a failure).
-func (s *Session) Key() []byte { return s.key }
+func (s *Session) Key() []byte {
+	s.mb.mu.Lock()
+	defer s.mb.mu.Unlock()
+	return s.key
+}
 
 // Roster returns the committed ring of this session, or nil before Done.
 func (s *Session) Roster() []string {
+	s.mb.mu.Lock()
+	defer s.mb.mu.Unlock()
 	return append([]string(nil), s.roster...)
 }
 
@@ -303,11 +419,19 @@ func (s *Session) Roster() []string {
 // as lost traffic) or fails the session with ErrSessionTimeout. Restarts
 // clear the deadline; re-arm it after draining the restart's Outbox. The
 // zero time disarms.
-func (s *Session) SetDeadline(t time.Time) { s.deadline = t }
+func (s *Session) SetDeadline(t time.Time) {
+	s.mb.mu.Lock()
+	defer s.mb.mu.Unlock()
+	s.deadline = t
+}
 
 // Attempts reports how many retransmission restarts the session has
 // consumed (bounded by Config.MaxRetries).
-func (s *Session) Attempts() int { return s.attempts }
+func (s *Session) Attempts() int {
+	s.mb.mu.Lock()
+	defer s.mb.mu.Unlock()
+	return s.attempts
+}
 
 // Tick drives the session's timeout/retransmit runtime and must be called
 // periodically with the current time by the application's event loop (it
@@ -323,7 +447,9 @@ func (s *Session) Attempts() int { return s.attempts }
 // with ErrSessionTimeout. Tick returns the session error, nil while the
 // session is still live (or already committed).
 func (s *Session) Tick(now time.Time) error {
+	s.mb.mu.Lock()
 	if s.done {
+		defer s.mb.mu.Unlock()
 		return s.err
 	}
 	if cur := s.mb.sessions[s.sid]; cur != s {
@@ -334,10 +460,12 @@ func (s *Session) Tick(now time.Time) error {
 		if s.err == nil {
 			s.err = fmt.Errorf("idgka: session %q superseded by a newer handle", s.sid)
 		}
+		defer s.mb.mu.Unlock()
 		return s.err
 	}
 	expired := !s.deadline.IsZero() && !now.Before(s.deadline)
 	if !s.retryArmed && !expired {
+		s.mb.mu.Unlock()
 		return nil
 	}
 	if s.start == nil || s.attempts >= s.mb.retries {
@@ -352,6 +480,7 @@ func (s *Session) Tick(now time.Time) error {
 		delete(s.mb.sessions, s.sid)
 		s.mb.inner.Machine().Abort(s.sid)
 		s.mb.inner.Machine().Release(s.sid)
+		defer s.mb.mu.Unlock()
 		return s.err
 	}
 	s.retryArmed = false
@@ -365,10 +494,16 @@ func (s *Session) Tick(now time.Time) error {
 		s.done = true
 		s.err = err
 		delete(s.mb.sessions, s.sid)
+		s.mb.inner.Machine().Abort(s.sid)
+		s.mb.inner.Machine().Release(s.sid)
+		defer s.mb.mu.Unlock()
 		return s.err
 	}
-	s.ingest(outs, evts)
-	return s.err
+	res := s.mb.ingestLocked(s, outs, evts)
+	err = s.err
+	s.mb.mu.Unlock()
+	res.fire()
+	return err
 }
 
 // Close abandons a session that can no longer make progress (e.g. a peer
@@ -380,6 +515,8 @@ func (s *Session) Tick(now time.Time) error {
 // sid can no longer serve as a base. Close is idempotent: repeated calls
 // are no-ops, and cannot disturb a newer session reusing the id.
 func (s *Session) Close() {
+	s.mb.mu.Lock()
+	defer s.mb.mu.Unlock()
 	if s.closed {
 		return
 	}

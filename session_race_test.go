@@ -1,0 +1,252 @@
+package idgka
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stressFan distributes one outbound packet to the other members' inboxes
+// without blocking forever when the test is shutting down.
+func stressFan(p Packet, from string, inboxes map[string]chan Packet, stop <-chan struct{}) {
+	for id, ch := range inboxes {
+		if id == from || (p.To != "" && p.To != id) {
+			continue
+		}
+		select {
+		case ch <- p:
+		case <-stop:
+			return
+		}
+	}
+}
+
+// TestMemberConcurrentSessionStress drives one member's sessions from
+// many goroutines at once — concurrent HandleMessage, Outbox, Tick and
+// Close across several in-flight establishments, followed by a sid-reuse
+// restart racing the stale handle's Tick/Close — and asserts every
+// session still converges on an agreed key. Run under -race this is the
+// thread-safety contract's acceptance test.
+func TestMemberConcurrentSessionStress(t *testing.T) {
+	auth, err := NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"st-01", "st-02"}
+	members := map[string]*Member{}
+	for _, id := range ids {
+		if members[id], err = auth.NewMember(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const groups = 5
+	const workers = 4
+	sids := make([]string, groups)
+	for g := range sids {
+		sids[g] = fmt.Sprintf("stress-%d", g)
+	}
+	handles := map[string][]*Session{}
+	for _, id := range ids {
+		for _, sid := range sids {
+			s, err := members[id].NewSession(sid, ids)
+			if err != nil {
+				t.Fatal(err)
+			}
+			handles[id] = append(handles[id], s)
+		}
+	}
+
+	run := func(phase string, check func() bool) {
+		stop := make(chan struct{})
+		inboxes := map[string]chan Packet{}
+		for _, id := range ids {
+			inboxes[id] = make(chan Packet, 8192)
+		}
+		var wg sync.WaitGroup
+		var step atomic.Uint64
+		for _, id := range ids {
+			// Seed: drain whatever the handles already queued.
+			for _, s := range handles[id] {
+				for _, p := range s.Outbox() {
+					stressFan(p, id, inboxes, stop)
+				}
+			}
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(id string, w int) {
+					defer wg.Done()
+					hs := handles[id]
+					for {
+						var pkt Packet
+						select {
+						case <-stop:
+							return
+						case pkt = <-inboxes[id]:
+						}
+						// Any handle may ingest any delivery: rotate so
+						// every handle sees foreign traffic.
+						n := step.Add(1)
+						h := hs[int(n)%len(hs)]
+						_ = h.HandleMessage(pkt) // a closed handle's own error is expected
+						for _, s := range hs {
+							for _, p := range s.Outbox() {
+								stressFan(p, id, inboxes, stop)
+							}
+							if n%17 == 0 {
+								_ = s.Tick(time.Now())
+								_ = s.Done()
+								_ = s.Attempts()
+							}
+						}
+						if n%29 == 0 {
+							_ = members[id].DeadPeers()
+							_ = members[id].GroupKey()
+						}
+					}
+				}(id, w)
+			}
+		}
+		deadline := time.After(60 * time.Second)
+		for !check() {
+			select {
+			case <-deadline:
+				close(stop)
+				wg.Wait()
+				t.Fatalf("%s: sessions did not converge in time", phase)
+			case <-time.After(time.Millisecond):
+			}
+		}
+		close(stop)
+		wg.Wait()
+	}
+
+	allDone := func() bool {
+		for _, id := range ids {
+			for _, s := range handles[id] {
+				if !s.Done() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	run("establish", allDone)
+	for g := range sids {
+		ref := handles[ids[0]][g].Key()
+		if ref == nil || handles[ids[0]][g].Err() != nil {
+			t.Fatalf("%s failed: %v", sids[g], handles[ids[0]][g].Err())
+		}
+		for _, id := range ids[1:] {
+			if !bytes.Equal(handles[id][g].Key(), ref) {
+				t.Fatalf("%s: members disagree on the key", sids[g])
+			}
+		}
+	}
+
+	// Sid-reuse restart storm: fresh handles reuse every sid while the
+	// stale completed handles are concurrently Closed and Ticked from
+	// other goroutines — none of which may disturb the new flows.
+	stale := map[string][]*Session{}
+	for _, id := range ids {
+		stale[id] = handles[id]
+		handles[id] = nil
+	}
+	var chaos sync.WaitGroup
+	for _, id := range ids {
+		for _, s := range stale[id] {
+			chaos.Add(1)
+			go func(s *Session) {
+				defer chaos.Done()
+				for i := 0; i < 20; i++ {
+					_ = s.Tick(time.Now())
+				}
+				s.Close()
+				s.Close()
+			}(s)
+		}
+	}
+	for _, id := range ids {
+		for _, sid := range sids {
+			s, err := members[id].NewSession(sid, ids)
+			if err != nil {
+				t.Fatal(err)
+			}
+			handles[id] = append(handles[id], s)
+		}
+	}
+	chaos.Wait()
+	allDone2 := func() bool {
+		for _, id := range ids {
+			for _, s := range handles[id] {
+				if !s.Done() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	run("sid-reuse restart", allDone2)
+	for g := range sids {
+		ref := handles[ids[0]][g].Key()
+		if ref == nil || handles[ids[0]][g].Err() != nil {
+			t.Fatalf("restarted %s failed: %v", sids[g], handles[ids[0]][g].Err())
+		}
+		for _, id := range ids[1:] {
+			if !bytes.Equal(handles[id][g].Key(), ref) {
+				t.Fatalf("restarted %s: members disagree on the key", sids[g])
+			}
+		}
+	}
+}
+
+// TestMemberConcurrentPeerDown hammers the peer-down path from many
+// goroutines: duplicate notices through different handles must fire the
+// (lock-free) handler exactly once per peer, and the handler may call
+// back into the member.
+func TestMemberConcurrentPeerDown(t *testing.T) {
+	auth, err := NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := auth.NewMember("pd-st-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired sync.Map
+	var count atomic.Int32
+	alice.SetPeerDownHandler(func(peer string) {
+		count.Add(1)
+		fired.Store(peer, true)
+		_ = alice.DeadPeers() // reentrancy: the member lock is not held here
+	})
+	s, err := alice.NewSession("pd-st", []string{"pd-st-01", "pd-st-02"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				peer := fmt.Sprintf("ghost-%d", i%4)
+				if w%2 == 0 {
+					_ = s.HandleMessage(PeerDownPacket(peer))
+				} else {
+					alice.HandlePacket(PeerDownPacket(peer))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := count.Load(); got != 4 {
+		t.Fatalf("handler fired %d times, want 4 (once per distinct peer)", got)
+	}
+	if dead := alice.DeadPeers(); len(dead) != 4 {
+		t.Fatalf("DeadPeers = %v", dead)
+	}
+}
