@@ -32,10 +32,70 @@ func XValue(zNext, zPrev, r, m *big.Int) (*big.Int, error) {
 	return new(big.Int).Exp(base, r, m), nil
 }
 
+// XFromPowers assembles the round-2 broadcast value from the two directed
+// DH edge powers the member raised itself: given a = z_next^r and
+// b = z_prev^r it returns X = a·b^{-1} mod m — the same value XValue
+// computes from the raw z's. Splitting the computation this way costs the
+// same total work as XValue (two exponentiations and one inversion per
+// member across the session, counting the key derivation) but leaves b =
+// z_prev^{r} in the session state, which collapses the dominant
+// z_prev^{n·r} term of equation (3) to b^n — a handful of squarings.
+func XFromPowers(a, b, m *big.Int) (*big.Int, error) {
+	inv, err := mathx.ModInverse(b, m)
+	if err != nil {
+		return nil, fmt.Errorf("bdkey: edge power not invertible: %w", err)
+	}
+	x := new(big.Int).Mul(a, inv)
+	return x.Mod(x, m), nil
+}
+
+// XValuesBatch computes every ring member's X value in one call with a
+// single modular inversion: the z_prev inverses all come from one
+// Montgomery-trick batch inversion instead of n independent extended
+// GCDs. zs and rs are the ring-ordered public values and secret
+// exponents. Drivers that materialize whole rings (benchmarks, tests, the
+// lockstep flows' white-box checks) use this to drop the inversion count
+// from O(n) to O(1); the values are bit-identical to per-member XValue.
+func XValuesBatch(zs, rs []*big.Int, m *big.Int) ([]*big.Int, error) {
+	n := len(zs)
+	if n == 0 || n != len(rs) {
+		return nil, errors.New("bdkey: ring size mismatch")
+	}
+	mo, err := mathx.NewModulus(m)
+	if err != nil {
+		return nil, err
+	}
+	prevs := make([]*big.Int, n)
+	for i := range zs {
+		prevs[i] = zs[(i-1+n)%n]
+	}
+	invs, err := mo.BatchInverse(prevs)
+	if err != nil {
+		return nil, fmt.Errorf("bdkey: z_prev not invertible: %w", err)
+	}
+	xs := make([]*big.Int, n)
+	for i := range zs {
+		base := new(big.Int).Mul(zs[(i+1)%n], invs[i])
+		base.Mod(base, m)
+		xs[i] = new(big.Int).Exp(base, rs[i], m)
+	}
+	return xs, nil
+}
+
 // CheckLemma1 verifies Π X_i ≡ 1 (mod m) — the paper's integrity check on
 // the round-2 values. The order of xs is irrelevant.
 func CheckLemma1(xs []*big.Int, m *big.Int) error {
 	if mathx.ProductMod(xs, m).Cmp(mathx.One) != 0 {
+		return errors.New("bdkey: Lemma 1 failed: ΠX_i ≠ 1, at least one X is corrupt")
+	}
+	return nil
+}
+
+// CheckLemma1Mont is CheckLemma1 over X values already converted into the
+// Montgomery domain (the product check is domain-invariant: ΠX_i ≡ 1 iff
+// the Montgomery product of the images equals the image of 1).
+func CheckLemma1Mont(mo *mathx.Modulus, xs []mathx.Elem) error {
+	if !mo.IsOne(mo.ProductElem(xs)) {
 		return errors.New("bdkey: Lemma 1 failed: ΠX_i ≠ 1, at least one X is corrupt")
 	}
 	return nil
@@ -99,6 +159,40 @@ func KeyMultiExp(i int, r, zPrev *big.Int, xs []*big.Int, m *big.Int) (*big.Int,
 	}
 	k.Mul(k, chain)
 	return k.Mod(k, m), nil
+}
+
+// KeyFromEdgeMont computes member i's group key (equation 3) from the
+// directed DH edge b = z_{i-1}^{r_i} that the restructured round 2 leaves
+// in the session state, entirely in the Montgomery domain:
+//
+//	K_i = b^n · X_i^{n-1} · X_{i+1}^{n-2} ··· X_{i+n-2}^{1} mod m
+//
+// b^n needs only ~log2(n) squarings, and the descending consecutive
+// exponents of the X chain telescope into prefix products (Horner):
+// Π_t S_t with S_t = X_i···X_{i+t} gives X_{i+j} exponent (n-1)-j. The
+// whole assembly is ~2n Montgomery multiplications with no full-width
+// exponentiation left. xs are the ring-ordered X values in Montgomery
+// form (converted once per session at the wire boundary); the result
+// converts back out and is bit-identical to Key.
+func KeyFromEdgeMont(mo *mathx.Modulus, i int, edge mathx.Elem, xs []mathx.Elem) (*big.Int, error) {
+	n := len(xs)
+	if n == 0 {
+		return nil, errors.New("bdkey: empty ring")
+	}
+	if i < 0 || i >= n {
+		return nil, fmt.Errorf("bdkey: index %d out of ring of %d", i, n)
+	}
+	k := mo.ExpElem(edge, big.NewInt(int64(n)))
+	if n > 1 {
+		prefix := append(mathx.Elem(nil), xs[i]...)
+		acc := append(mathx.Elem(nil), prefix...)
+		for j := 1; j <= n-2; j++ {
+			mo.MulInto(prefix, prefix, xs[(i+j)%n])
+			mo.MulInto(acc, acc, prefix)
+		}
+		mo.MulInto(k, k, acc)
+	}
+	return mo.FromMont(k), nil
 }
 
 // DirectKey computes g^{Σ r_j r_{j+1}} from all ring exponents — the

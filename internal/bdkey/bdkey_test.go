@@ -141,3 +141,130 @@ func TestKeyMultiExpRejectsBadInputs(t *testing.T) {
 		t.Fatal("out-of-range index accepted")
 	}
 }
+
+// TestXFromPowersMatchesXValue checks the edge-carrying restructure: the
+// X assembled from the two directed edge powers must be bit-identical to
+// the ratio-form XValue.
+func TestXFromPowersMatchesXValue(t *testing.T) {
+	rs, zs, xs, g := buildRing(t, 5)
+	for i := 0; i < 5; i++ {
+		a := new(big.Int).Exp(zs[(i+1)%5], rs[i], g.P)
+		b := new(big.Int).Exp(zs[(i-1+5)%5], rs[i], g.P)
+		got, err := XFromPowers(a, b, g.P)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(xs[i]) != 0 {
+			t.Fatalf("member %d: XFromPowers diverges from XValue", i)
+		}
+	}
+	if _, err := XFromPowers(big.NewInt(2), new(big.Int).Set(g.P), g.P); err == nil {
+		t.Fatal("non-invertible edge power accepted")
+	}
+}
+
+// TestXValuesBatchMatchesXValue checks batch X computation is
+// bit-identical to per-member XValue and uses exactly one modular
+// inversion regardless of ring size.
+func TestXValuesBatchMatchesXValue(t *testing.T) {
+	for _, n := range []int{2, 3, 8, 16} {
+		rs, zs, want, g := buildRing(t, n)
+		before := mathx.InverseCalls()
+		got, err := XValuesBatch(zs, rs, g.P)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if calls := mathx.InverseCalls() - before; calls != 1 {
+			t.Fatalf("n=%d: XValuesBatch used %d inversions, want 1", n, calls)
+		}
+		for i := range want {
+			if got[i].Cmp(want[i]) != 0 {
+				t.Fatalf("n=%d member %d: batch X diverges", n, i)
+			}
+		}
+	}
+	if _, err := XValuesBatch(nil, nil, big.NewInt(7)); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+}
+
+// TestKeyFromEdgeMontMatchesKey checks the Montgomery-domain Horner
+// assembly against the straight-line equation (3) for every member of
+// several ring sizes, including the n=1 and n=2 degenerate shapes.
+func TestKeyFromEdgeMontMatchesKey(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 16} {
+		rs, zs, xs, g := buildRing(t, n)
+		mo := g.Mont()
+		if mo == nil {
+			t.Fatal("nil Montgomery context")
+		}
+		xsMont := make([]mathx.Elem, n)
+		for i := range xs {
+			xsMont[i] = mo.ToMont(xs[i])
+		}
+		for i := 0; i < n; i++ {
+			zPrev := zs[(i-1+n)%n]
+			want, err := Key(i, rs[i], zPrev, xs, g.P)
+			if err != nil {
+				t.Fatal(err)
+			}
+			edge := new(big.Int).Exp(zPrev, rs[i], g.P)
+			got, err := KeyFromEdgeMont(mo, i, mo.ToMont(edge), xsMont)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Cmp(want) != 0 {
+				t.Fatalf("n=%d member %d: KeyFromEdgeMont diverges from Key", n, i)
+			}
+		}
+	}
+}
+
+// TestCheckLemma1MontMatches checks the Montgomery-domain Lemma 1 product
+// check agrees with the big.Int one on both honest and corrupted rings.
+func TestCheckLemma1MontMatches(t *testing.T) {
+	_, _, xs, g := buildRing(t, 6)
+	mo := g.Mont()
+	toMont := func(vs []*big.Int) []mathx.Elem {
+		es := make([]mathx.Elem, len(vs))
+		for i, v := range vs {
+			es[i] = mo.ToMont(v)
+		}
+		return es
+	}
+	if err := CheckLemma1Mont(mo, toMont(xs)); err != nil {
+		t.Fatalf("honest ring rejected: %v", err)
+	}
+	xs[3] = new(big.Int).Add(xs[3], big.NewInt(1))
+	if err := CheckLemma1Mont(mo, toMont(xs)); err == nil {
+		t.Fatal("corrupted X passed Montgomery Lemma 1")
+	}
+}
+
+// BenchmarkXValues proves the batch path drops the inversion count from
+// O(n) to O(1): per-member XValue performs one ModInverse each, the batch
+// performs one total.
+func BenchmarkXValues(b *testing.B) {
+	const n = 16
+	rs, zs, _, g := buildRing(b, n)
+	b.Run("per-member", func(b *testing.B) {
+		start := mathx.InverseCalls()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < n; j++ {
+				if _, err := XValue(zs[(j+1)%n], zs[(j-1+n)%n], rs[j], g.P); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(mathx.InverseCalls()-start)/float64(b.N), "inversions/ring")
+	})
+	b.Run("batch", func(b *testing.B) {
+		start := mathx.InverseCalls()
+		for i := 0; i < b.N; i++ {
+			if _, err := XValuesBatch(zs, rs, g.P); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(mathx.InverseCalls()-start)/float64(b.N), "inversions/ring")
+	})
+}

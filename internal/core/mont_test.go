@@ -1,0 +1,155 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/big"
+	"testing"
+
+	"idgka/internal/engine"
+	"idgka/internal/meter"
+	"idgka/internal/netsim"
+	"idgka/internal/params"
+	"idgka/internal/sigs/gq"
+)
+
+// montCtrReader is a deterministic randomness stream (SHA-256 in counter
+// mode). Each member gets its own stream seeded by its identity, so the
+// keying material two runs draw is identical regardless of how the
+// orchestrators interleave the members' goroutines.
+type montCtrReader struct {
+	seed [32]byte
+	ctr  uint64
+	buf  []byte
+}
+
+func newMontCtrReader(seed string) *montCtrReader {
+	return &montCtrReader{seed: sha256.Sum256([]byte(seed))}
+}
+
+func (r *montCtrReader) Read(p []byte) (int, error) {
+	for len(r.buf) < len(p) {
+		var block [40]byte
+		copy(block[:32], r.seed[:])
+		binary.BigEndian.PutUint64(block[32:], r.ctr)
+		r.ctr++
+		sum := sha256.Sum256(block[:])
+		r.buf = append(r.buf, sum[:]...)
+	}
+	n := copy(p, r.buf)
+	r.buf = r.buf[n:]
+	return n, nil
+}
+
+// runFiveFlows drives all five protocol flows — initial, join, leave,
+// merge, partition — with the given acceleration config and per-member
+// deterministic randomness, running the explicit key-confirmation round
+// after every flow, and returns the five committed keys in order.
+func runFiveFlows(t *testing.T, accel engine.AccelConfig, seed string) []*big.Int {
+	t.Helper()
+	set := params.Default()
+	newMb := func(net *netsim.Network, id string) *Member {
+		cfg := Config{Set: set.Public(), Rand: newMontCtrReader(seed + "/" + id), Accel: accel}
+		sk, err := gq.Extract(set.RSA, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := meter.New()
+		mb, err := NewMember(cfg, sk, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Register(id, m); err != nil {
+			t.Fatal(err)
+		}
+		return mb
+	}
+	confirm := func(net *netsim.Network, members []*Member, what string) *big.Int {
+		if err := ConfirmKey(net, members); err != nil {
+			t.Fatalf("%s: key confirmation: %v", what, err)
+		}
+		return assertAgreement(t, members)
+	}
+
+	var keys []*big.Int
+	net := netsim.New()
+	var group []*Member
+	for i := 0; i < 5; i++ {
+		group = append(group, newMb(net, fmt.Sprintf("M%02d", i+1)))
+	}
+	if err := RunInitial(net, group); err != nil {
+		t.Fatalf("initial: %v", err)
+	}
+	keys = append(keys, confirm(net, group, "initial"))
+
+	joiner := newMb(net, "M06")
+	if err := RunJoin(net, group, joiner); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	group = append(group, joiner)
+	keys = append(keys, confirm(net, group, "join"))
+
+	if err := RunLeave(net, group, "M02"); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	var g2 []*Member
+	for _, mb := range group {
+		if mb.ID() != "M02" {
+			g2 = append(g2, mb)
+		}
+	}
+	group = g2
+	keys = append(keys, confirm(net, group, "leave"))
+
+	netB := netsim.New()
+	var groupB []*Member
+	for i := 0; i < 3; i++ {
+		groupB = append(groupB, newMb(netB, fmt.Sprintf("N%02d", i+1)))
+	}
+	if err := RunInitial(netB, groupB); err != nil {
+		t.Fatalf("merge: group B initial: %v", err)
+	}
+	for _, mb := range groupB {
+		if err := net.Register(mb.ID(), mb.Meter()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := RunMerge(net, group, groupB); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	group = append(group, groupB...)
+	keys = append(keys, confirm(net, group, "merge"))
+
+	evict := []string{group[1].ID(), group[3].ID()}
+	if err := RunPartition(net, group, evict); err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	var g3 []*Member
+	for _, mb := range group {
+		if mb.ID() != evict[0] && mb.ID() != evict[1] {
+			g3 = append(g3, mb)
+		}
+	}
+	keys = append(keys, confirm(net, g3, "partition"))
+	return keys
+}
+
+// TestMontTransparent pins the Montgomery-accelerated arithmetic to the
+// math/big paper path across all five flows: with identical randomness,
+// the committed session keys (and therefore the confirm digests, which
+// every member cross-checks in ConfirmKey) must be bit-identical whether
+// the acceleration layer is off or fully on.
+func TestMontTransparent(t *testing.T) {
+	flows := []string{"initial", "join", "leave", "merge", "partition"}
+	plain := runFiveFlows(t, engine.AccelConfig{}, "mont-transparency")
+	accel := runFiveFlows(t, engine.AccelConfig{Precompute: true, VerifyWorkers: 4}, "mont-transparency")
+	if len(plain) != len(flows) || len(accel) != len(flows) {
+		t.Fatalf("expected %d keys per run, got %d plain / %d accelerated", len(flows), len(plain), len(accel))
+	}
+	for i, name := range flows {
+		if plain[i].Cmp(accel[i]) != 0 {
+			t.Errorf("%s: keys diverge between math/big and Montgomery runs", name)
+		}
+	}
+}

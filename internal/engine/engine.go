@@ -50,6 +50,8 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"strings"
+	"sync"
 
 	"idgka/internal/meter"
 	"idgka/internal/netsim"
@@ -242,6 +244,13 @@ type Machine struct {
 	// cfg.Accel.VerifyWorkers > 1; nil selects the exact sequential path.
 	pool *pool
 
+	// gvCache holds per-roster claim builders (cached identity products)
+	// for the deferred batch-verification path; rosters recur across
+	// rounds and sessions, so the hashing and inversion are one-off. It
+	// has its own lock because finish phases of concurrent flows touch it.
+	gvMu    sync.Mutex
+	gvCache map[string]*gq.GroupVerifier
+
 	// group is the most recently committed group view (nil before the
 	// first establishment). Lockstep drivers and single-group applications
 	// read it directly; multi-session applications use Session(sid).
@@ -293,11 +302,38 @@ func NewMachine(cfg Config, sk *gq.PrivateKey, m *meter.Meter) (*Machine, error)
 		sk:       sk,
 		m:        m,
 		pool:     newPool(cfg.Accel.VerifyWorkers),
+		gvCache:  map[string]*gq.GroupVerifier{},
 		flows:    map[string]*runningFlow{},
 		sessions: map[string]*Group{},
 		finished: map[string]uint64{},
 		early:    map[string][]earlyMsg{},
 	}, nil
+}
+
+// claimBuilder returns the cached per-roster claim builder for the
+// deferred batch-verification path, constructing it (identity digests,
+// their product, its inverse — no fixed-base table) on first use.
+func (mc *Machine) claimBuilder(roster []string) (*gq.GroupVerifier, error) {
+	key := strings.Join(roster, "\x00")
+	mc.gvMu.Lock()
+	defer mc.gvMu.Unlock()
+	if gv := mc.gvCache[key]; gv != nil {
+		return gv, nil
+	}
+	gv, err := gq.NewClaimBuilder(gq.ParamsFrom(mc.cfg.Set.RSA), roster)
+	if err != nil {
+		return nil, err
+	}
+	mc.gvCache[key] = gv
+	return gv, nil
+}
+
+// SetBatchVerifier installs (or, with nil, clears) the host-level claim
+// verifier the finish phase defers its GQ batch checks to. The caller
+// must serialize it with flow processing (idgka.Member holds its machine
+// lock); in-flight flows pick the new verifier up at their next finish.
+func (mc *Machine) SetBatchVerifier(bv BatchVerifier) {
+	mc.cfg.Accel.BatchVerifier = bv
 }
 
 // ID returns the member's identity.

@@ -26,7 +26,12 @@ type ringState struct {
 	z, t   map[string]*big.Int
 	x, s   map[string]*big.Int
 
-	bigZ, c *big.Int
+	bigZ, bigT, c *big.Int
+
+	// edge holds z_prev^r when the accelerated round 2 computed X from
+	// its two directed edge powers: equation (3)'s dominant z_prev^{n·r}
+	// term then collapses to edge^n (~log2 n squarings) in finish.
+	edge *big.Int
 }
 
 func newRingState(roster []string, self string) (*ringState, error) {
@@ -95,7 +100,22 @@ func (rs *ringState) round2Payload(mc *Machine) ([]byte, error) {
 	n := rs.n()
 	zNext := rs.z[rs.roster[(rs.self+1)%n]]
 	zPrev := rs.z[rs.roster[(rs.self-1+n)%n]]
-	x, err := bdkey.XValue(zNext, zPrev, rs.r, sg.P)
+	var x *big.Int
+	var err error
+	if mc.cfg.Accel.Precompute {
+		// Edge-carrying restructure: raise the two directed DH edges
+		// separately and keep b = z_prev^r for the key computation, where
+		// it collapses equation (3)'s z_prev^{n·r} to b^n. X is
+		// bit-identical to XValue's, the session's total exponentiation
+		// count is unchanged (the saving lands in finish), and the meter
+		// charges the same logical operation.
+		a := new(big.Int).Exp(zNext, rs.r, sg.P)
+		b := new(big.Int).Exp(zPrev, rs.r, sg.P)
+		x, err = bdkey.XFromPowers(a, b, sg.P)
+		rs.edge = b
+	} else {
+		x, err = bdkey.XValue(zNext, zPrev, rs.r, sg.P)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -111,24 +131,39 @@ func (rs *ringState) round2Payload(mc *Machine) ([]byte, error) {
 		zs = append(zs, rs.z[id])
 		ts = append(ts, rs.t[id])
 	}
-	var bigT *big.Int
 	_ = mc.pool.Run(
 		func() error {
 			rs.bigZ = mathx.ProductModParallel(zs, sg.P, mc.pool.split(2))
 			return nil
 		},
 		func() error {
-			bigT = mathx.ProductModParallel(ts, mc.cfg.Set.RSA.N, mc.pool.split(2))
+			rs.bigT = mathx.ProductModParallel(ts, mc.cfg.Set.RSA.N, mc.pool.split(2))
 			return nil
 		},
 	)
-	rs.c = gq.GroupChallenge(bigT, rs.bigZ)
+	rs.c = gq.GroupChallenge(rs.bigT, rs.bigZ)
 	s := mc.sk.Respond(rs.tau, rs.c)
 	mc.m.SignGen(meter.SchemeGQ, 1)
 
 	rs.x[mc.id] = x
 	rs.s[mc.id] = s
 	return wire.NewBuffer().PutString(mc.id).PutBig(x).PutBig(s).Bytes(), nil
+}
+
+// submitClaim folds the round's responses into an algebraic batch-
+// verification claim — using the machine's per-roster cached identity
+// product, so nothing is re-hashed per round — and hands it to the host
+// verifier, blocking until the host settles the batch it lands in.
+func (rs *ringState) submitClaim(mc *Machine, bv BatchVerifier, responses []*big.Int) error {
+	gv, err := mc.claimBuilder(rs.roster)
+	if err != nil {
+		return err
+	}
+	claim, err := gv.NewClaim(responses, rs.c, rs.bigT)
+	if err != nil {
+		return err
+	}
+	return bv.VerifyClaim(claim)
 }
 
 // finish performs the Authentication and Key Computation phase: one batch
@@ -160,9 +195,18 @@ func (rs *ringState) finish(mc *Machine) (*Group, error) {
 
 	var key *big.Int
 	err := mc.pool.Run(
-		// Equation (2): c == H((Πs_i)^e · (ΠH(U_i))^{-c}, Z).
+		// Equation (2): c == H((Πs_i)^e · (ΠH(U_i))^{-c}, Z). With a host
+		// batch verifier, the check is submitted as an algebraic claim
+		// (equivalent because this member derived c = H(T, Z) itself) and
+		// settles together with other groups' claims; the verdict and the
+		// meter charge are the same either way.
 		func() error {
-			err := gq.BatchVerifyWorkers(gq.ParamsFrom(mc.cfg.Set.RSA), rs.roster, responses, rs.c, rs.bigZ, mc.pool.share(3))
+			var err error
+			if bv := mc.cfg.Accel.BatchVerifier; bv != nil {
+				err = rs.submitClaim(mc, bv, responses)
+			} else {
+				err = gq.BatchVerifyWorkers(gq.ParamsFrom(mc.cfg.Set.RSA), rs.roster, responses, rs.c, rs.bigZ, mc.pool.share(3))
+			}
 			mc.m.SignVer(meter.SchemeGQ, 1)
 			if err != nil {
 				return Retryable(err)
@@ -176,13 +220,30 @@ func (rs *ringState) finish(mc *Machine) (*Group, error) {
 			}
 			return nil
 		},
-		// Equation (3): the shared key.
+		// Equation (3): the shared key. With the edge power carried over
+		// from the accelerated round 2, the whole assembly runs in the
+		// Montgomery domain: the X values convert in once, edge^n replaces
+		// the full-width z_prev^{n·r} exponentiation, and the descending-
+		// exponent chain telescopes into prefix products.
 		func() error {
 			var err error
-			if mc.cfg.Accel.Precompute {
-				key, err = bdkey.KeyMultiExp(rs.self, rs.r, zPrev, xsOrdered, sg.P)
-			} else {
-				key, err = bdkey.Key(rs.self, rs.r, zPrev, xsOrdered, sg.P)
+			done := false
+			if mc.cfg.Accel.Precompute && rs.edge != nil {
+				if mo := sg.Mont(); mo != nil {
+					xsMont := make([]mathx.Elem, n)
+					for i, x := range xsOrdered {
+						xsMont[i] = mo.ToMont(x)
+					}
+					key, err = bdkey.KeyFromEdgeMont(mo, rs.self, mo.ToMont(rs.edge), xsMont)
+					done = true
+				}
+			}
+			if !done {
+				if mc.cfg.Accel.Precompute {
+					key, err = bdkey.KeyMultiExp(rs.self, rs.r, zPrev, xsOrdered, sg.P)
+				} else {
+					key, err = bdkey.Key(rs.self, rs.r, zPrev, xsOrdered, sg.P)
+				}
 			}
 			if err != nil {
 				return err

@@ -22,9 +22,11 @@ func TestAccelBenchShape(t *testing.T) {
 		"initial/key-computation",
 		"initial/member-pipeline",
 		"schnorr/fixed-base-exp",
+		"mont/var-base-exp",
 		"gq/respond",
 		"bd/key-assembly",
 		"gq/batch-verify",
+		"serve/amortized-verify",
 		"ec/scalar-base-mult",
 		"pairing/scalar-base-mult",
 	}

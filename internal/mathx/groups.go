@@ -21,6 +21,25 @@ type SchnorrGroup struct {
 	// a deployment, so the table is published atomically; a nil table
 	// selects the naive path.
 	fixedBase atomic.Pointer[FixedBaseTable]
+
+	// mont caches the Montgomery context for p (built lazily by Mont).
+	mont atomic.Pointer[Modulus]
+}
+
+// Mont returns the group's cached Montgomery context for the field prime
+// p, building it on first use. Groups are shared by pointer across every
+// member of a deployment, so the one-off construction (a single big.Int
+// division) is amortised process-wide. Never nil for a valid group.
+func (sg *SchnorrGroup) Mont() *Modulus {
+	if mo := sg.mont.Load(); mo != nil {
+		return mo
+	}
+	mo, err := NewModulus(sg.P)
+	if err != nil {
+		return nil
+	}
+	sg.mont.CompareAndSwap(nil, mo)
+	return sg.mont.Load()
 }
 
 // GenerateSchnorrGroup produces a fresh Schnorr group with the requested
@@ -163,6 +182,24 @@ type RSAParams struct {
 	P *big.Int // secret prime factor
 	Q *big.Int // secret prime factor
 	D *big.Int // secret extraction exponent
+
+	// mont caches the Montgomery context for N (built lazily by Mont).
+	mont atomic.Pointer[Modulus]
+}
+
+// Mont returns the cached Montgomery context for the modulus N, building
+// it on first use. Parameter sets are shared by pointer, so the context
+// is built once per process. Never nil for a valid parameter set.
+func (rp *RSAParams) Mont() *Modulus {
+	if mo := rp.mont.Load(); mo != nil {
+		return mo
+	}
+	mo, err := NewModulus(rp.N)
+	if err != nil {
+		return nil
+	}
+	rp.mont.CompareAndSwap(nil, mo)
+	return rp.mont.Load()
 }
 
 // GenerateRSAParams produces a GQ modulus of the requested size. e is fixed

@@ -52,6 +52,16 @@ type Config struct {
 	// may sit on traffic that never arrives before it retransmits (and,
 	// budget exhausted, fails with idgka.ErrSessionTimeout).
 	Deadline time.Duration
+	// AmortizeVerify routes every hosted member's per-round GQ batch
+	// checks through one host-level settlement queue: checks from
+	// concurrently keying groups coalesce per worker wakeup and settle
+	// together with a single random-linear-combination verification, so
+	// per-group verify cost falls as concurrent load grows. Keys,
+	// verdicts and meters are unchanged. A group's finish briefly parks
+	// its shard worker while its batch settles, so size Shards for the
+	// intended concurrency (at least the number of simultaneously keying
+	// members).
+	AmortizeVerify bool
 }
 
 func (c Config) shards() int {
@@ -77,6 +87,15 @@ type Stats struct {
 	LiveRuns   int
 	Delivered  uint64
 	SendErrors uint64
+	// VerifyClaims and VerifyBatches count the amortized settlement
+	// queue's traffic (zero unless Config.AmortizeVerify): claims per
+	// batch averages above 1 show cross-group coalescing at work.
+	// VerifyBusy is the wall time the settlement lane spent checking —
+	// VerifyClaims/VerifyBusy is the lane's claims/sec throughput, which
+	// rises with concurrent load as batches coalesce.
+	VerifyClaims  uint64
+	VerifyBatches uint64
+	VerifyBusy    time.Duration
 }
 
 // Host is a sharded multi-member, multi-group serving context. Create it
@@ -92,6 +111,7 @@ type Host struct {
 	closed     bool
 
 	shards []*shard
+	vq     *verifyQueue
 	stop   chan struct{}
 	wg     sync.WaitGroup
 
@@ -190,6 +210,14 @@ func NewHost(cfg Config, tx Transmit) *Host {
 		h.wg.Add(1)
 		go h.worker(s)
 	}
+	if cfg.AmortizeVerify {
+		h.vq = newVerifyQueue()
+		h.wg.Add(1)
+		go func() {
+			defer h.wg.Done()
+			h.vq.worker()
+		}()
+	}
 	if h.cfg.tickInterval() > 0 {
 		h.wg.Add(1)
 		go h.tickLoop()
@@ -222,6 +250,9 @@ func (h *Host) AddMember(mb *idgka.Member) error {
 	hm.sh = h.shards[shardIndex(id, len(h.shards))]
 	h.members[id] = hm
 	h.mu.Unlock()
+	if h.vq != nil {
+		mb.SetBatchVerifier(h.vq)
+	}
 	// The member invokes peer-down handlers lock-free, so the relay (and
 	// the application callback behind it) may call back into member and
 	// host — e.g. to start eviction runs.
@@ -453,6 +484,11 @@ func (h *Host) Stats() Stats {
 		Delivered:  h.delivered.Load(),
 		SendErrors: h.sendErrors.Load(),
 	}
+	if h.vq != nil {
+		st.VerifyClaims = h.vq.claims.Load()
+		st.VerifyBatches = h.vq.batches.Load()
+		st.VerifyBusy = time.Duration(h.vq.busyNS.Load())
+	}
 	for _, hm := range h.members {
 		hm.mu.Lock()
 		st.LiveRuns += len(hm.runs)
@@ -478,6 +514,12 @@ func (h *Host) Close() {
 	close(h.stop)
 	for _, s := range h.shards {
 		s.close()
+	}
+	if h.vq != nil {
+		// Drain the settlement backlog so shard workers blocked in
+		// VerifyClaim unblock before the Wait below; late claims from
+		// still-running tasks verify in-line.
+		h.vq.close()
 	}
 	h.wg.Wait()
 	for _, hm := range members {

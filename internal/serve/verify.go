@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"crypto/rand"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"idgka/internal/sigs/gq"
+)
+
+// verifyQueue is the host's amortized GQ settlement lane: shard workers
+// executing a group's finish phase block in VerifyClaim while their claim
+// sits in the pending list, and one dedicated worker drains EVERYTHING
+// pending per wakeup, settling the whole batch with a single
+// random-linear-combination check (gq.VerifyClaimsRLC). Under concurrent
+// load the batches form naturally — while one batch is being checked,
+// the next batch accumulates — so per-claim cost falls as the number of
+// concurrently keying groups grows. A failed combined check falls back
+// to individual verdicts inside VerifyClaimsRLC, and each waiter gets
+// exactly its own claim's verdict.
+type verifyQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	pend   []pendingClaim
+	closed bool
+
+	claims  atomic.Uint64
+	batches atomic.Uint64
+	busyNS  atomic.Uint64 // wall time spent inside settle — the verify
+	// lane's busy time, denominator of its claims/sec throughput
+}
+
+type pendingClaim struct {
+	claim *gq.Claim
+	done  chan error
+}
+
+func newVerifyQueue() *verifyQueue {
+	q := &verifyQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// VerifyClaim implements engine.BatchVerifier: enqueue and block until
+// the batch containing this claim settles. After close, claims are
+// checked in-line so late finishes still get correct verdicts.
+func (q *verifyQueue) VerifyClaim(cl *gq.Claim) error {
+	if cl == nil {
+		return errors.New("serve: nil claim")
+	}
+	done := make(chan error, 1)
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return cl.Verify()
+	}
+	q.pend = append(q.pend, pendingClaim{claim: cl, done: done})
+	q.cond.Signal()
+	q.mu.Unlock()
+	return <-done
+}
+
+// gather yield budgets: after the first claim arrives, the worker yields
+// the processor so every other runnable submitter gets to finish its claim
+// and enqueue before settlement — without this, a single-P scheduler would
+// run the worker the moment the first claim lands and every batch would be
+// a singleton. Gathering stops after two consecutive yields that grew
+// nothing (the remaining goroutines are not about to produce claims) or
+// after a hard cap, so a steady trickle cannot starve settlement.
+const (
+	gatherMaxYields = 64
+	gatherIdleStop  = 2
+)
+
+// worker drains the queue until closed AND empty: claims that arrived
+// before close still settle, so shard workers blocked in VerifyClaim
+// always unblock.
+func (q *verifyQueue) worker() {
+	for {
+		q.mu.Lock()
+		for len(q.pend) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if len(q.pend) == 0 {
+			q.mu.Unlock()
+			return
+		}
+		idle := 0
+		for y := 0; y < gatherMaxYields && idle < gatherIdleStop && !q.closed; y++ {
+			before := len(q.pend)
+			q.mu.Unlock()
+			runtime.Gosched()
+			q.mu.Lock()
+			if len(q.pend) == before {
+				idle++
+			} else {
+				idle = 0
+			}
+		}
+		batch := q.pend
+		q.pend = nil
+		q.mu.Unlock()
+		q.settle(batch)
+	}
+}
+
+// settle checks one coalesced batch and delivers per-claim verdicts.
+func (q *verifyQueue) settle(batch []pendingClaim) {
+	start := time.Now()
+	defer func() { q.busyNS.Add(uint64(time.Since(start))) }()
+	q.batches.Add(1)
+	q.claims.Add(uint64(len(batch)))
+	if len(batch) == 1 {
+		batch[0].done <- batch[0].claim.Verify()
+		return
+	}
+	claims := make([]*gq.Claim, len(batch))
+	for i, p := range batch {
+		claims[i] = p.claim
+	}
+	if err := gq.VerifyClaimsRLC(rand.Reader, claims); err == nil {
+		for _, p := range batch {
+			p.done <- nil
+		}
+		return
+	}
+	// The combined equation failed: deliver individual verdicts so only
+	// the actually-bad claims' groups fail.
+	for _, p := range batch {
+		p.done <- p.claim.Verify()
+	}
+}
+
+// close stops the worker after the backlog drains; subsequent
+// VerifyClaim calls verify in-line.
+func (q *verifyQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}

@@ -5,6 +5,7 @@ import (
 	"math/big"
 	"testing"
 
+	"idgka/internal/mathx"
 	"idgka/internal/params"
 )
 
@@ -70,6 +71,37 @@ func TestVerifyRejectsRangeViolations(t *testing.T) {
 	} {
 		if err := kp.Verify([]byte("m"), sig); err == nil {
 			t.Fatalf("out-of-range signature accepted: %+v", sig)
+		}
+	}
+}
+
+// TestVerifyFixedBaseMatches pins the fixed-base verify path to the plain
+// path: the same signature must verify (and the same tampered one must
+// fail) whether or not the group carries a precomputation table.
+func TestVerifyFixedBaseMatches(t *testing.T) {
+	def := params.Default().Schnorr
+	plain := &mathx.SchnorrGroup{P: def.P, Q: def.Q, G: def.G}
+	accel := &mathx.SchnorrGroup{P: def.P, Q: def.Q, G: def.G}
+	if accel.Precompute() == nil {
+		t.Fatal("Precompute returned nil table")
+	}
+	kp, err := GenerateKey(rand.Reader, plain)
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	kpAccel := &KeyPair{Group: accel, Y: kp.Y}
+	for i := 0; i < 8; i++ {
+		msg := []byte{byte(i), 'm'}
+		sig, err := kp.Sign(rand.Reader, msg)
+		if err != nil {
+			t.Fatalf("Sign: %v", err)
+		}
+		if err := kpAccel.Verify(msg, sig); err != nil {
+			t.Fatalf("fixed-base Verify rejected a good signature: %v", err)
+		}
+		bad := &Signature{R: sig.R, S: new(big.Int).Add(sig.S, big.NewInt(1))}
+		if kpAccel.Verify(msg, bad) == nil {
+			t.Fatal("fixed-base Verify accepted a tampered signature")
 		}
 	}
 }
