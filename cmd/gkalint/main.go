@@ -1,0 +1,55 @@
+// Command gkalint runs the repo's invariant analyzers (internal/lint)
+// over the packages matching its go-list pattern arguments and exits
+// non-zero if any un-waived violation survives:
+//
+//	go run ./cmd/gkalint ./...
+//
+// Each finding prints as file:line:col: message (analyzer). A site that
+// deliberately breaks an invariant is waived in source with a justified
+// control comment — //gkalint:<verb> <reason> on the offending line or
+// the line above; a waiver without a reason is itself a finding. The
+// analyzers and their verbs:
+//
+//	boundedwait  //gkalint:unbounded   transport waits need deadlines (PR 4)
+//	lockorder    //gkalint:unlocked    guarded state needs its documented lock (PR 5)
+//	montdomain   //gkalint:rawdomain   mathx.Elem converts before boundaries (PR 6)
+//	secretflow   //gkalint:secretok    key material stays out of logs
+//	sidroute     //gkalint:nosid       engine.Outbound carries its session id (PR 5)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"idgka/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: gkalint [packages]\n\nruns the idgka invariant analyzers; see package docs under internal/lint\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gkalint:", err)
+		os.Exit(2)
+	}
+	findings, err := lint.Check(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gkalint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "gkalint: %d violation(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -175,13 +175,17 @@ type Member struct {
 	mu sync.Mutex
 	// sessions routes engine lifecycle events to the owning event-driven
 	// Session handle (see session.go).
+	//gkalint:guard mu
 	sessions map[string]*Session
+	//gkalint:guard -
 	// retries is the per-flow retransmission budget the session runtime
 	// enforces (Config.MaxRetries, defaulted); immutable after creation.
 	retries int
 	// dead records peers the medium reported down; onPeerDown is the
 	// application's notification hook (see SetPeerDownHandler).
-	dead       map[string]bool
+	//gkalint:guard mu
+	dead map[string]bool
+	//gkalint:callback
 	onPeerDown func(peer string)
 }
 

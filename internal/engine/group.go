@@ -18,6 +18,7 @@ type Group struct {
 	// pos maps identity to 0-based ring position.
 	pos map[string]int
 	// R is the member's own Diffie-Hellman exponent r_i.
+	//gkalint:secret
 	R *big.Int
 	// Tau is the member's GQ commitment τ_i, retained because the
 	// Leave/Partition protocols reuse it for even-indexed survivors.
@@ -27,6 +28,7 @@ type Group struct {
 	// T holds the latest GQ commitment image t_j for each member.
 	T map[string]*big.Int
 	// Key is the current group key K.
+	//gkalint:secret
 	Key *big.Int
 }
 

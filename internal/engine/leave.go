@@ -175,7 +175,7 @@ func (f *leaveFlow) begin() ([]Outbound, error) {
 	f.ring.tau = tau
 	f.ring.t[mc.id] = t
 	payload := wire.NewBuffer().PutString(mc.id).PutBig(zNew).PutBig(t).Bytes()
-	return []Outbound{{Type: MsgLeave1, Payload: payload}}, nil
+	return []Outbound{{Type: MsgLeave1, Payload: payload}}, nil //gkalint:nosid wrapOuts stamps the flow sid on every enveloped outbound
 }
 
 func (f *leaveFlow) deliver(msg *netsim.Message) error {
@@ -261,7 +261,7 @@ func (f *leaveFlow) advance() ([]Outbound, []Event, error) {
 			if err != nil {
 				return outs, nil, err
 			}
-			outs = append(outs, Outbound{Type: MsgLeave2, Payload: payload})
+			outs = append(outs, Outbound{Type: MsgLeave2, Payload: payload}) //gkalint:nosid wrapOuts stamps the flow sid on every enveloped outbound
 			f.emittedR2 = true
 		}
 	}

@@ -1,0 +1,136 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against `// want "regexp"` markers, mirroring
+// golang.org/x/tools/go/analysis/analysistest over the in-tree
+// framework. Fixtures live in a GOPATH-style tree (testdata/src/<path>)
+// so they can replicate the real repo's import paths — an analyzer
+// matching idgka/internal/mathx.Elem sees the same fully-qualified name
+// in fixtures and production code. Diagnostics pass through the central
+// waiver filter, so negative fixtures prove //gkalint:<verb> comments
+// suppress findings (and that justification-free waivers do not).
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+
+	"idgka/internal/lint/analysis"
+	"idgka/internal/lint/load"
+)
+
+// TestData returns the caller's testdata directory root.
+func TestData() string {
+	_, file, _, ok := runtime.Caller(1)
+	if !ok {
+		panic("analysistest: cannot locate caller")
+	}
+	return filepath.Join(filepath.Dir(file), "testdata")
+}
+
+// want is one expected diagnostic.
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("// want (.*)$")
+var wantArgRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// Run loads each fixture package beneath testdata/src and reports, via
+// t, any mismatch between the analyzer's findings and the fixtures'
+// `// want` markers.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	loader := load.NewSourceLoader(filepath.Join(testdata, "src"))
+	var targets []*analysis.Package
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			t.Fatalf("loading fixture %q: %v", p, err)
+		}
+		targets = append(targets, pkg)
+	}
+	findings, err := analysis.RunWithIndex(targets, loader.Loaded(), []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	wants := collectWants(t, loader.Fset, targets)
+
+	for _, f := range findings {
+		if !matchWant(wants, f) {
+			t.Errorf("%s: unexpected diagnostic: %s", filepath.Base(f.Pos.Filename), f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched `%s`", filepath.Base(w.file), w.line, w.rx)
+		}
+	}
+}
+
+func matchWant(wants []*want, f analysis.Finding) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.rx.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants scans fixture comments for want markers. A marker expects
+// its diagnostics on its own line; several quoted or backquoted regexps
+// may follow one marker.
+func collectWants(t *testing.T, fset *token.FileSet, pkgs []*analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					args := wantArgRe.FindAllStringSubmatch(m[1], -1)
+					if len(args) == 0 {
+						t.Fatalf("%s:%d: malformed want marker %q", pos.Filename, pos.Line, c.Text)
+					}
+					for _, arg := range args {
+						pat := arg[1]
+						if pat == "" {
+							pat = unquote(arg[2])
+						}
+						rx, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+						}
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, rx: rx})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func unquote(s string) string {
+	r := strings.NewReplacer(`\"`, `"`, `\\`, `\`)
+	return r.Replace(s)
+}
+
+// Fprint is a debugging aid: it renders findings one per line.
+func Fprint(findings []analysis.Finding) string {
+	var b strings.Builder
+	for _, f := range findings {
+		fmt.Fprintln(&b, f)
+	}
+	return b.String()
+}

@@ -1,0 +1,13 @@
+package boundedwait_test
+
+import (
+	"testing"
+
+	"idgka/internal/lint/analysistest"
+	"idgka/internal/lint/boundedwait"
+)
+
+func TestBoundedWait(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), boundedwait.Analyzer,
+		"idgka/internal/transport", "outside")
+}

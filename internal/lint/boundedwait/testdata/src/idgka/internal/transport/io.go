@@ -1,0 +1,12 @@
+package transport
+
+import "io"
+
+func frameRead(c *conn, p []byte) {
+	io.ReadFull(c, p) // want `io\.ReadFull over a deadline-capable connection`
+}
+
+func bufferedCopy(dst io.Writer, src io.Reader) {
+	// Plain readers and writers carry no deadline surface; not flagged.
+	io.Copy(dst, src)
+}

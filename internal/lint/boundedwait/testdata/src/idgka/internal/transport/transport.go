@@ -1,0 +1,82 @@
+// Package transport is a boundedwait fixture living at the real
+// transport's import path, so the analyzer's package scoping applies.
+package transport
+
+import "time"
+
+// conn is a deadline-capable connection (net.Conn-shaped, duck-typed so
+// the fixture needs no cgo-tainted net import).
+type conn struct{}
+
+func (c *conn) Read(p []byte) (int, error)    { return 0, nil }
+func (c *conn) Write(p []byte) (int, error)   { return 0, nil }
+func (c *conn) SetDeadline(t time.Time) error { return nil }
+
+type ctx struct{}
+
+func (ctx) Done() <-chan struct{} { return nil }
+
+func nakedSend(ch chan int) {
+	ch <- 1 // want `unbounded channel send on a transport path`
+}
+
+func nakedRecv(ch chan int) int {
+	return <-ch // want `unbounded channel receive on a transport path`
+}
+
+func singleCaseSelect(ch chan int) {
+	select {
+	case ch <- 1: // want `unbounded channel send on a transport path`
+	}
+}
+
+func escapedSend(ch chan int, closed chan struct{}) {
+	select {
+	case ch <- 1:
+	case <-closed:
+	}
+}
+
+func defaultSend(ch chan int) {
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+func timeoutRecv(ch chan int, t *time.Timer, tk *time.Ticker, c ctx) {
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+	}
+	<-t.C      // a fired timer is inherently bounded
+	<-tk.C     // so is a ticker
+	<-c.Done() // and a done channel
+	<-time.After(time.Millisecond)
+}
+
+func rangeWorker(ch chan int) {
+	for v := range ch { // want `for-range over a channel blocks unboundedly`
+		_ = v
+	}
+}
+
+func waivedWorker(ch chan int) {
+	//gkalint:unbounded per-shard FIFO is unbounded by design; a bounded queue deadlocks loopback transports
+	for v := range ch {
+		_ = v
+	}
+}
+
+func deadlineLessWrite(c *conn, p []byte) {
+	c.Write(p) // want `Write on a deadline-capable connection`
+}
+
+func deadlineArmedWrite(c *conn, p []byte) {
+	c.SetDeadline(time.Now().Add(time.Second))
+	c.Write(p)
+}
+
+func waivedWrite(c *conn, p []byte) {
+	c.Write(p) //gkalint:unbounded deadline armed by the caller holding the delivery slot
+}

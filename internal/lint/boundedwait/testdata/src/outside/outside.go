@@ -1,0 +1,12 @@
+// Package outside is not a transport path: identical waits draw no
+// findings, proving the analyzer's package scoping.
+package outside
+
+func nakedSend(ch chan int) {
+	ch <- 1
+}
+
+func rangeWorker(ch chan int) {
+	for range ch {
+	}
+}

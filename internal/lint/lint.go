@@ -1,0 +1,43 @@
+// Package lint assembles the gkalint analyzer suite: the repo's crypto,
+// locking and lifecycle invariants — each one a bug class a previous PR
+// fixed by hand — encoded as mechanical checks so CI catches the next
+// regression at review time instead of under -race in production.
+//
+// Run it locally with
+//
+//	go run ./cmd/gkalint ./...
+//
+// See each analyzer's package documentation for the invariant it
+// enforces and the waiver syntax; README.md's "Static analysis" section
+// has the overview.
+package lint
+
+import (
+	"idgka/internal/lint/analysis"
+	"idgka/internal/lint/boundedwait"
+	"idgka/internal/lint/load"
+	"idgka/internal/lint/lockorder"
+	"idgka/internal/lint/montdomain"
+	"idgka/internal/lint/secretflow"
+	"idgka/internal/lint/sidroute"
+)
+
+// Suite is every gkalint analyzer, in reporting order.
+var Suite = []*analysis.Analyzer{
+	boundedwait.Analyzer,
+	lockorder.Analyzer,
+	montdomain.Analyzer,
+	secretflow.Analyzer,
+	sidroute.Analyzer,
+}
+
+// Check loads the packages matching the go-list patterns rooted at dir
+// and runs the whole suite, returning the surviving (un-waived)
+// findings.
+func Check(dir string, patterns ...string) ([]analysis.Finding, error) {
+	pkgs, err := load.Packages(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.Run(pkgs, Suite)
+}

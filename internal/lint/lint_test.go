@@ -1,0 +1,35 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"idgka/internal/lint"
+)
+
+// TestRepoIsClean is the meta-test the CI lint-gkalint job mirrors: the
+// whole repository, with its deliberate waivers, must pass the full
+// analyzer suite. A failure here means either a real regression of one
+// of the encoded invariants or a new deliberate exception that needs a
+// justified //gkalint waiver.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repo; skipped in -short")
+	}
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	root := filepath.Dir(filepath.Dir(filepath.Dir(file)))
+	findings, err := lint.Check(root, "./...")
+	if err != nil {
+		t.Fatalf("lint.Check: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Errorf("%d violation(s); fix them or waive with a justified //gkalint comment", len(findings))
+	}
+}

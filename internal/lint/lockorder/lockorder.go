@@ -1,0 +1,447 @@
+// Package lockorder mechanically checks the PR 5 locking discipline
+// around mutex-guarded state:
+//
+//   - struct fields declared guarded (a //gkalint:guard <path> marker
+//     inside the struct, covering every field after it until
+//     //gkalint:guard -) may only be read or written while the named
+//     mutex is held, where <path> is spelled relative to the struct
+//     value (guard "mb.mu" on a Session field means s.mb.mu must be
+//     held to touch s.field);
+//   - a method whose name ends in Locked runs under the caller's lock:
+//     calling one without holding a lock on the receiver's path is a
+//     race, and re-locking the receiver's mutex inside one is a
+//     deadlock;
+//   - a callable marked //gkalint:callback (the peer-down handler and
+//     its wrappers) is a user callback that may re-enter the member —
+//     invoking it while any lock is held re-creates the PR 5
+//     re-entrancy deadlock.
+//
+// The lock tracker is a source-order scan: Lock()/RLock() on a
+// sync.Mutex/RWMutex adds the mutex expression to the held set,
+// Unlock()/RUnlock() removes it, nested control-flow blocks work on
+// copies so an early-return Unlock inside an if-branch does not leak
+// into the fallthrough path. Function literals are skipped (their lock
+// state at call time is unknowable statically), as are fields of values
+// freshly constructed in the same function (not yet shared, so not yet
+// guarded). Sites the scan cannot see — e.g. a lock taken by a helper —
+// carry //gkalint:unlocked <why>.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"idgka/internal/lint/analysis"
+)
+
+// Analyzer reports guarded-field access without the documented lock,
+// Locked-suffix contract violations, and callbacks invoked under a lock.
+var Analyzer = &analysis.Analyzer{
+	Name:       "lockorder",
+	Doc:        "mutex-guarded fields need their documented lock held; *Locked methods run under the caller's lock; user callbacks only fire after unlock (PR 5)",
+	WaiverVerb: "unlocked",
+	Run:        run,
+}
+
+const guardVerb = "gkalint:guard"
+
+// guardSet maps "pkgpath.Type" -> field name -> guard path relative to
+// the struct value (e.g. "mu", "mb.mu").
+type guardSet map[string]map[string]string
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			s := &scanner{pass: pass, guards: guards, fd: fd, fresh: map[types.Object]bool{}}
+			s.stmts(fd.Body.List, map[string]bool{})
+		}
+	}
+	return nil
+}
+
+// collectGuards reads //gkalint:guard markers out of struct bodies. A
+// marker guards every field declared after it (in source order) until a
+// //gkalint:guard - marker ends the region.
+func collectGuards(pass *analysis.Pass) guardSet {
+	guards := guardSet{}
+	for _, f := range pass.Files {
+		// Comments inside a struct body may be floating (attached to the
+		// file, not a field), so index them all by position.
+		type marker struct {
+			pos  token.Pos
+			path string
+		}
+		var markers []marker
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, "gkalint:guard") {
+					continue
+				}
+				path := strings.TrimSpace(strings.TrimPrefix(text, "gkalint:guard"))
+				markers = append(markers, marker{pos: c.Pos(), path: path})
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			typeName := pass.Pkg.Path() + "." + ts.Name.Name
+			for _, fld := range st.Fields.List {
+				// The innermost marker before this field wins.
+				cur := ""
+				for _, m := range markers {
+					if m.pos > st.Struct && m.pos < fld.Pos() {
+						cur = m.path
+					}
+				}
+				if cur == "" || cur == "-" {
+					continue
+				}
+				if guards[typeName] == nil {
+					guards[typeName] = map[string]string{}
+				}
+				for _, name := range fld.Names {
+					guards[typeName][name.Name] = cur
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// scanner walks one function body in source order, tracking held locks.
+type scanner struct {
+	pass   *analysis.Pass
+	guards guardSet
+	fd     *ast.FuncDecl
+	fresh  map[types.Object]bool
+}
+
+// underCallerLock reports whether the scanned function itself runs under the
+// caller's lock (the *Locked naming contract).
+func (s *scanner) underCallerLock() bool { return strings.HasSuffix(s.fd.Name.Name, "Locked") }
+
+// recvName returns the receiver's binding name, or "".
+func (s *scanner) recvName() string {
+	if s.fd.Recv == nil || len(s.fd.Recv.List) == 0 || len(s.fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return s.fd.Recv.List[0].Names[0].Name
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k := range held {
+		c[k] = true
+	}
+	return c
+}
+
+func (s *scanner) stmts(list []ast.Stmt, held map[string]bool) {
+	for _, st := range list {
+		s.stmt(st, held)
+	}
+}
+
+func (s *scanner) stmt(st ast.Stmt, held map[string]bool) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if mutex, op, ok := lockOp(s.pass, st.X); ok {
+			s.transition(mutex, op, st.Pos(), held)
+			return
+		}
+		s.expr(st.X, held)
+	case *ast.AssignStmt:
+		for _, r := range st.Rhs {
+			s.expr(r, held)
+		}
+		for _, l := range st.Lhs {
+			s.expr(l, held)
+		}
+		if st.Tok == token.DEFINE {
+			s.trackFresh(st)
+		}
+	case *ast.DeferStmt:
+		// defer x.mu.Unlock() keeps the lock held for the remainder of
+		// the scan — which is exactly the runtime behavior until return.
+		if _, _, ok := lockOp(s.pass, st.Call); ok {
+			return
+		}
+		s.expr(st.Call, held)
+	case *ast.GoStmt:
+		// The goroutine body runs later, without this function's locks.
+		if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			gs := &scanner{pass: s.pass, guards: s.guards, fd: s.fd, fresh: s.fresh}
+			gs.stmts(fl.Body.List, map[string]bool{})
+		}
+		for _, a := range st.Call.Args {
+			s.expr(a, held)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			s.expr(r, held)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.stmt(st.Init, held)
+		}
+		s.expr(st.Cond, held)
+		s.stmts(st.Body.List, copyHeld(held))
+		if st.Else != nil {
+			s.stmt(st.Else, copyHeld(held))
+		}
+	case *ast.BlockStmt:
+		s.stmts(st.List, held)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.stmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			s.expr(st.Cond, held)
+		}
+		s.stmts(st.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		s.expr(st.X, held)
+		s.stmts(st.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			s.expr(st.Tag, held)
+		}
+		for _, cc := range st.Body.List {
+			s.stmts(cc.(*ast.CaseClause).Body, copyHeld(held))
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range st.Body.List {
+			s.stmts(cc.(*ast.CaseClause).Body, copyHeld(held))
+		}
+	case *ast.SelectStmt:
+		for _, cc := range st.Body.List {
+			s.stmts(cc.(*ast.CommClause).Body, copyHeld(held))
+		}
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt, held)
+	case *ast.IncDecStmt:
+		s.expr(st.X, held)
+	case *ast.SendStmt:
+		s.expr(st.Chan, held)
+		s.expr(st.Value, held)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						s.expr(v, held)
+					}
+				}
+			}
+		}
+	}
+}
+
+// transition applies a Lock/Unlock statement to the held set, checking
+// the Locked-suffix deadlock rule on the way.
+func (s *scanner) transition(mutex, op string, pos token.Pos, held map[string]bool) {
+	switch op {
+	case "Lock", "RLock":
+		if s.underCallerLock() && s.recvName() != "" && strings.HasPrefix(mutex, s.recvName()+".") {
+			s.pass.Reportf(pos, "%s runs under the caller's lock (Locked suffix) but locks %s itself: deadlock", s.fd.Name.Name, mutex)
+		}
+		held[mutex] = true
+	case "Unlock", "RUnlock":
+		delete(held, mutex)
+	}
+}
+
+// lockOp matches x.mu.Lock()-shaped calls on sync mutexes.
+func lockOp(pass *analysis.Pass, e ast.Expr) (mutex, op string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	if !analysis.IsMutex(pass.Info.Types[sel.X].Type) {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// trackFresh records locals bound to values constructed in this
+// function: their fields are not shared yet, so guards do not apply.
+func (s *scanner) trackFresh(st *ast.AssignStmt) {
+	for i, l := range st.Lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok || i >= len(st.Rhs) {
+			continue
+		}
+		switch r := ast.Unparen(st.Rhs[i]).(type) {
+		case *ast.CompositeLit:
+		case *ast.UnaryExpr:
+			if _, lit := r.X.(*ast.CompositeLit); r.Op != token.AND || !lit {
+				continue
+			}
+		case *ast.CallExpr:
+			if obj := analysis.CalleeObj(s.pass.Info, r); obj == nil || (obj.Name() != "new" && obj.Name() != "make") {
+				continue
+			}
+		default:
+			continue
+		}
+		if obj := s.pass.Info.Defs[id]; obj != nil {
+			s.fresh[obj] = true
+		}
+	}
+}
+
+// expr checks all accesses and calls inside one expression.
+func (s *scanner) expr(e ast.Expr, held map[string]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // lock state at call time is unknowable
+		case *ast.CallExpr:
+			s.checkCall(n, held)
+		case *ast.SelectorExpr:
+			s.checkAccess(n, held)
+		}
+		return true
+	})
+}
+
+// checkCall enforces the *Locked calling contract and the
+// callback-after-unlock rule.
+func (s *scanner) checkCall(call *ast.CallExpr, held map[string]bool) {
+	// User callbacks must not run under any lock.
+	if key := s.callbackKey(call); key != "" && len(held) > 0 {
+		s.pass.Reportf(call.Pos(), "user callback %s invoked while a lock is held (%s); release the lock first — the callback may re-enter and deadlock", key, oneOf(held))
+		return
+	}
+	// fooLocked() requires the caller to hold a lock on foo's owner.
+	name := calleeName(call)
+	if !strings.HasSuffix(name, "Locked") || s.underCallerLock() {
+		return
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		base := types.ExprString(sel.X)
+		for m := range held {
+			if strings.HasPrefix(m, base+".") {
+				return
+			}
+		}
+		s.pass.Reportf(call.Pos(), "%s.%s requires the caller to hold %s's lock (Locked suffix), but no lock on that path is held", base, name, base)
+		return
+	}
+	if len(held) == 0 {
+		s.pass.Reportf(call.Pos(), "%s requires the caller to hold a lock (Locked suffix), but none is held", name)
+	}
+}
+
+// checkAccess enforces guarded-field access.
+func (s *scanner) checkAccess(sel *ast.SelectorExpr, held map[string]bool) {
+	fld, owner, ok := analysis.FieldOf(s.pass.Info, sel)
+	if !ok {
+		return
+	}
+	guard := s.guards[owner][fld.Name()]
+	if guard == "" {
+		return
+	}
+	if s.underCallerLock() {
+		return // runs under the caller's lock by contract
+	}
+	if id := rootIdent(sel.X); id != nil {
+		if obj := s.pass.Info.Uses[id]; obj != nil && s.fresh[obj] {
+			return // freshly constructed, not shared yet
+		}
+	}
+	required := types.ExprString(sel.X) + "." + guard
+	if held[required] {
+		return
+	}
+	s.pass.Reportf(sel.Pos(), "%s.%s is guarded by %s, which is not held here; lock it or waive with //gkalint:unlocked <reason>", types.ExprString(sel.X), fld.Name(), required)
+}
+
+// callbackKey resolves a call to an annotated callback field or method.
+func (s *scanner) callbackKey(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if fld, owner, ok := analysis.FieldOf(s.pass.Info, sel); ok {
+		if key := owner + "." + fld.Name(); s.pass.Index.Callbacks[key] {
+			return key
+		}
+		return ""
+	}
+	if selection, ok := s.pass.Info.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+		t := selection.Recv()
+		if p, okp := t.Underlying().(*types.Pointer); okp {
+			t = p.Elem()
+		}
+		if key := analysis.NamedName(t) + "." + sel.Sel.Name; s.pass.Index.Callbacks[key] {
+			return key
+		}
+	}
+	return ""
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+func oneOf(held map[string]bool) string {
+	for m := range held {
+		return m
+	}
+	return ""
+}
+
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package a seeds lockorder violations and proves the exemptions,
+// modeled on the repo's Member/Session locking idiom.
+package a
+
+import "sync"
+
+// Member owns the lock; Session state is guarded through a path.
+type Member struct {
+	mu sync.Mutex
+	id string // above the marker: unguarded
+
+	//gkalint:guard mu
+	sessions map[string]*Session
+	dead     map[string]bool
+	// onPeerDown is the application's hook; it may re-enter the member.
+	//gkalint:callback
+	onPeerDown func(peer string)
+	//gkalint:guard -
+	retries int // after the end marker: unguarded again
+}
+
+// Session fields are guarded by the owning member's mutex.
+type Session struct {
+	mb *Member
+
+	//gkalint:guard mb.mu
+	done bool
+	err  error
+}
+
+func (mb *Member) lookupLocked(sid string) *Session {
+	return mb.sessions[sid] // Locked suffix: caller holds mb.mu
+}
+
+func (mb *Member) deadlocks(sid string) *Session {
+	return mb.lookupLocked(sid) // want `mb\.lookupLocked requires the caller to hold mb's lock`
+}
+
+func (mb *Member) holds(sid string) *Session {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.lookupLocked(sid)
+}
+
+func (mb *Member) badLocked(sid string) *Session {
+	mb.mu.Lock() // want `badLocked runs under the caller's lock \(Locked suffix\) but locks mb\.mu itself: deadlock`
+	defer mb.mu.Unlock()
+	return mb.sessions[sid]
+}
+
+func (mb *Member) racyRead(sid string) *Session {
+	return mb.sessions[sid] // want `mb\.sessions is guarded by mb\.mu, which is not held here`
+}
+
+func (mb *Member) racyWrite(peer string) {
+	mb.dead[peer] = true // want `mb\.dead is guarded by mb\.mu, which is not held here`
+}
+
+func (mb *Member) guardedWrite(peer string) {
+	mb.mu.Lock()
+	mb.dead[peer] = true
+	mb.mu.Unlock()
+}
+
+func (mb *Member) unguardedFields() (string, int) {
+	return mb.id, mb.retries // outside the guard region: no lock needed
+}
+
+func (mb *Member) earlyReturnBranch(sid string) *Session {
+	mb.mu.Lock()
+	if s, ok := mb.sessions[sid]; ok {
+		mb.mu.Unlock() // branch-local release must not leak into fallthrough
+		return s
+	}
+	s := &Session{mb: mb}
+	mb.sessions[sid] = s // still held on this path
+	mb.mu.Unlock()
+	return s
+}
+
+func (mb *Member) freshConstruction() *Session {
+	s := &Session{mb: mb}
+	s.done = true // fresh value: not shared, guard does not apply
+	return s
+}
+
+func (mb *Member) callbackUnderLock(peer string) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.onPeerDown(peer) // want `user callback a\.Member\.onPeerDown invoked while a lock is held`
+}
+
+func (mb *Member) callbackAfterUnlock(peer string) {
+	mb.mu.Lock()
+	fn := mb.onPeerDown
+	mb.mu.Unlock()
+	if fn != nil {
+		fn(peer)
+	}
+}
+
+func (s *Session) pathGuard() bool {
+	s.mb.mu.Lock()
+	defer s.mb.mu.Unlock()
+	return s.done
+}
+
+func (s *Session) pathRacy() bool {
+	return s.done // want `s\.done is guarded by s\.mb\.mu, which is not held here`
+}
+
+func (s *Session) waivedRacy() bool {
+	//gkalint:unlocked read-only snapshot for metrics; staleness is acceptable
+	return s.done
+}

@@ -1,0 +1,159 @@
+// Package montdomain enforces the PR 6 Montgomery-domain contract: a
+// mathx.Elem holds v·R mod m — a representation, not a value — so its
+// limbs must never leave the domain unconverted. Serializing, logging,
+// metering or re-interpreting an Elem as a canonical residue silently
+// corrupts transcripts at wire boundaries; conversion must go through
+// Modulus.FromMont.
+//
+// The analyzer reports, package by package:
+//
+//   - an Elem (or []Elem, map of Elem, *Elem) argument reaching a
+//     boundary sink: any function of fmt, log, an encoding/* package,
+//     idgka/internal/wire or idgka/internal/meter;
+//   - a big.Int built straight from Elem limbs via SetBits (the exact
+//     domain-mixing shape PR 6 guarded against);
+//   - reflect.DeepEqual over Elems (representation comparison — convert
+//     to canonical form first);
+//   - immediate round-trips ToMont(FromMont(x)) / FromMont(ToMont(x)),
+//     the per-function pairing check: a round-trip means the author lost
+//     track of which domain the value was in.
+//
+// Deliberate exceptions carry //gkalint:rawdomain <why>.
+package montdomain
+
+import (
+	"go/ast"
+	"strings"
+
+	"idgka/internal/lint/analysis"
+)
+
+const elemType = "idgka/internal/mathx.Elem"
+
+// sinkPkgs are package paths whose call arguments constitute a domain
+// boundary.
+var sinkPkgs = map[string]bool{
+	"fmt":                  true,
+	"log":                  true,
+	"idgka/internal/wire":  true,
+	"idgka/internal/meter": true,
+}
+
+// Analyzer reports Montgomery-domain values crossing wire, format or
+// comparison boundaries without FromMont.
+var Analyzer = &analysis.Analyzer{
+	Name:       "montdomain",
+	Doc:        "mathx.Elem values must convert via FromMont before serialization, comparison or metering (PR 6)",
+	WaiverVerb: "rawdomain",
+	Run:        run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == "idgka/internal/mathx" {
+		// The engine's own package owns the representation; its internal
+		// limb manipulation is the implementation, not a boundary.
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkSink(pass, call)
+			checkSetBits(pass, call)
+			checkDeepEqual(pass, call)
+			checkRoundTrip(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// isElemArg reports whether the expression carries mathx.Elem values,
+// looking through one explicit conversion (e.g. []big.Word(e)).
+func isElemArg(pass *analysis.Pass, e ast.Expr) bool {
+	if analysis.TypeContains(pass.Info.Types[e].Type, elemType) {
+		return true
+	}
+	if conv, ok := ast.Unparen(e).(*ast.CallExpr); ok && len(conv.Args) == 1 {
+		if tv, ok := pass.Info.Types[conv.Fun]; ok && tv.IsType() {
+			return analysis.TypeContains(pass.Info.Types[conv.Args[0]].Type, elemType)
+		}
+	}
+	return false
+}
+
+func checkSink(pass *analysis.Pass, call *ast.CallExpr) {
+	path := analysis.CalleePkgPath(pass.Info, call)
+	if path == "" {
+		return
+	}
+	if !sinkPkgs[path] && !strings.HasPrefix(path, "encoding/") {
+		return
+	}
+	for _, arg := range call.Args {
+		if isElemArg(pass, arg) {
+			pass.Reportf(arg.Pos(), "mathx.Elem crosses a %s boundary still in the Montgomery domain; convert with FromMont first or waive with //gkalint:rawdomain <reason>", path)
+		}
+	}
+}
+
+// checkSetBits flags new(big.Int).SetBits(elem) and friends: limbs of a
+// Montgomery residue reinterpreted as a canonical big.Int.
+func checkSetBits(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "SetBits" || len(call.Args) != 1 {
+		return
+	}
+	if !analysis.TypeContains(pass.Info.Types[sel.X].Type, "math/big.Int") {
+		return
+	}
+	if isElemArg(pass, call.Args[0]) {
+		pass.Reportf(call.Pos(), "big.Int.SetBits on mathx.Elem limbs reinterprets a Montgomery residue as canonical; use FromMont")
+	}
+}
+
+func checkDeepEqual(pass *analysis.Pass, call *ast.CallExpr) {
+	obj := analysis.CalleeObj(pass.Info, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "reflect" || obj.Name() != "DeepEqual" {
+		return
+	}
+	for _, arg := range call.Args {
+		if isElemArg(pass, arg) {
+			pass.Reportf(call.Pos(), "reflect.DeepEqual over mathx.Elem compares Montgomery representations; convert with FromMont and compare canonical values")
+			return
+		}
+	}
+}
+
+// checkRoundTrip flags mo.ToMont(mo.FromMont(x)) and the inverse: a
+// same-expression round-trip means the domain of x was lost.
+func checkRoundTrip(pass *analysis.Pass, call *ast.CallExpr) {
+	outer := convName(pass, call)
+	if outer == "" || len(call.Args) != 1 {
+		return
+	}
+	inner, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	in := convName(pass, inner)
+	if (outer == "ToMont" && in == "FromMont") || (outer == "FromMont" && in == "ToMont") {
+		pass.Reportf(call.Pos(), "%s(%s(…)) round-trips the Montgomery domain; keep the value in one domain per function", outer, in)
+	}
+}
+
+// convName returns "ToMont"/"FromMont" when the call is a mathx.Modulus
+// conversion, else "".
+func convName(pass *analysis.Pass, call *ast.CallExpr) string {
+	obj := analysis.CalleeObj(pass.Info, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "idgka/internal/mathx" {
+		return ""
+	}
+	switch obj.Name() {
+	case "ToMont", "FromMont":
+		return obj.Name()
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package montdomain_test
+
+import (
+	"testing"
+
+	"idgka/internal/lint/analysistest"
+	"idgka/internal/lint/montdomain"
+)
+
+func TestMontDomain(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), montdomain.Analyzer, "a")
+}

@@ -1,0 +1,43 @@
+// Package a seeds montdomain violations and proves the exemptions.
+package a
+
+import (
+	"fmt"
+	"math/big"
+	"reflect"
+
+	"idgka/internal/mathx"
+	"idgka/internal/meter"
+	"idgka/internal/wire"
+)
+
+func leaks(mo *mathx.Modulus, e mathx.Elem, es []mathx.Elem) {
+	fmt.Printf("elem=%v\n", e)       // want `mathx\.Elem crosses a fmt boundary`
+	fmt.Println(es)                  // want `mathx\.Elem crosses a fmt boundary`
+	wire.NewBuffer().PutWords(e)     // want `mathx\.Elem crosses a idgka/internal/wire boundary`
+	meter.Record("key", e)           // want `mathx\.Elem crosses a idgka/internal/meter boundary`
+	fmt.Println(mo.FromMont(e))      // canonical: converted before the boundary
+	fmt.Printf("words=%d\n", len(e)) // a length is not a residue
+}
+
+func mixes(mo *mathx.Modulus, e mathx.Elem) *big.Int {
+	_ = new(big.Int).SetBits(e)                // want `SetBits on mathx\.Elem limbs`
+	_ = new(big.Int).SetBits([]big.Word(e))    // want `SetBits on mathx\.Elem limbs`
+	return new(big.Int).SetBits([]big.Word{1}) // fresh limbs: no domain to confuse
+}
+
+func compares(a, b mathx.Elem) bool {
+	return reflect.DeepEqual(a, b) // want `reflect\.DeepEqual over mathx\.Elem`
+}
+
+func roundTrips(mo *mathx.Modulus, e mathx.Elem, v *big.Int) {
+	_ = mo.ToMont(mo.FromMont(e)) // want `ToMont\(FromMont\(…\)\) round-trips`
+	_ = mo.FromMont(mo.ToMont(v)) // want `FromMont\(ToMont\(…\)\) round-trips`
+	_ = mo.ToMont(v)
+	_ = mo.FromMont(e)
+}
+
+func waived(e mathx.Elem) {
+	//gkalint:rawdomain debugging dump of raw limbs, never parsed back
+	fmt.Println(e)
+}

@@ -1,0 +1,17 @@
+// Package mathx is the fixture stub of idgka/internal/mathx: the
+// Montgomery-domain types the montdomain fixtures exercise.
+package mathx
+
+import "math/big"
+
+// Elem mirrors the real Montgomery-domain residue type.
+type Elem []big.Word
+
+// Modulus mirrors the real Montgomery context.
+type Modulus struct{}
+
+// ToMont converts a canonical residue into the Montgomery domain.
+func (mo *Modulus) ToMont(v *big.Int) Elem { return nil }
+
+// FromMont converts a Montgomery-domain residue back to canonical form.
+func (mo *Modulus) FromMont(e Elem) *big.Int { return new(big.Int) }

@@ -1,0 +1,5 @@
+// Package meter is the fixture stub of idgka/internal/meter.
+package meter
+
+// Record notes one metered quantity.
+func Record(what string, v any) {}

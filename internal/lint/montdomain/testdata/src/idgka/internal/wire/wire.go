@@ -1,0 +1,11 @@
+// Package wire is the fixture stub of idgka/internal/wire.
+package wire
+
+// Buffer mirrors the real wire buffer's appending writer.
+type Buffer struct{}
+
+// NewBuffer opens an empty buffer.
+func NewBuffer() *Buffer { return &Buffer{} }
+
+// PutWords appends raw limbs (fixture-only shape).
+func (b *Buffer) PutWords(v any) *Buffer { return b }

@@ -1,0 +1,138 @@
+// Package secretflow keeps key material out of formatted output.
+// Private exponents, extracted identity keys and session keys must never
+// reach fmt/log formatting, error strings, or stringification methods —
+// one %v on the wrong struct ships a private exponent to a log
+// aggregator. Fingerprints (hashes of key bytes) are the sanctioned way
+// to print key identity.
+//
+// Secrets are declared where they live, with a //gkalint:secret marker
+// on the struct field or type declaration; the annotation index makes
+// markers visible across packages within one gkalint run, and a built-in
+// list covers the repo's known key material as a floor. The analyzer
+// reports:
+//
+//   - a secret value (marked field selector, or value of a marked type)
+//     passed to any fmt or log function — Errorf included, so secrets
+//     cannot ride into error chains;
+//   - String/Text/GoString/Append called directly on a secret;
+//   - a marked type declaring String, GoString, Format, MarshalText or
+//     MarshalJSON (stringification invites accidental leaks; redact
+//     before formatting and waive the redacting method).
+//
+// Deliberate output — e.g. a test vector dump — carries
+// //gkalint:secretok <why>.
+package secretflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"idgka/internal/lint/analysis"
+)
+
+// builtinSecrets is the floor: the repo's known key material, enforced
+// even where annotations are out of the analyzed set.
+var builtinSecrets = []string{
+	"idgka/internal/sigs/gq.PrivateKey",
+	"idgka/internal/sigs/gq.PrivateKey.S",
+	"idgka/internal/sigs/sok.PrivateKey",
+	"idgka/internal/sigs/sok.PrivateKey.D",
+	"idgka/internal/sigs/sok.PKG.s",
+	"idgka/internal/engine.Group.R",
+	"idgka/internal/engine.Group.Key",
+	"idgka.Session.key",
+}
+
+// stringifiers are method names that turn a value into output.
+var stringifiers = map[string]bool{
+	"String": true, "GoString": true, "Format": true,
+	"Text": true, "Append": true, "AppendText": true,
+	"MarshalText": true, "MarshalJSON": true,
+}
+
+// Analyzer reports key material flowing into formatted output.
+var Analyzer = &analysis.Analyzer{
+	Name:       "secretflow",
+	Doc:        "private exponents, identity keys and session keys must not reach fmt/log/error formatting or Stringers",
+	WaiverVerb: "secretok",
+	Run:        run,
+}
+
+func run(pass *analysis.Pass) error {
+	secrets := map[string]bool{}
+	for _, s := range builtinSecrets {
+		secrets[s] = true
+	}
+	for s := range pass.Index.Secrets {
+		secrets[s] = true
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, secrets, n)
+			case *ast.FuncDecl:
+				checkStringer(pass, secrets, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// secretName classifies an expression: the key it is secret under, or "".
+func secretName(pass *analysis.Pass, secrets map[string]bool, e ast.Expr) string {
+	e = ast.Unparen(e)
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if fld, owner, ok := analysis.FieldOf(pass.Info, sel); ok {
+			if key := owner + "." + fld.Name(); secrets[key] {
+				return key
+			}
+		}
+	}
+	t := pass.Info.Types[e].Type
+	if t != nil {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if name := analysis.NamedName(t); name != "" && secrets[name] {
+			return name
+		}
+	}
+	return ""
+}
+
+// checkCall flags secrets passed into fmt/log sinks and direct
+// stringification of secrets.
+func checkCall(pass *analysis.Pass, secrets map[string]bool, call *ast.CallExpr) {
+	switch analysis.CalleePkgPath(pass.Info, call) {
+	case "fmt", "log", "log/slog":
+		for _, arg := range call.Args {
+			if key := secretName(pass, secrets, arg); key != "" {
+				pass.Reportf(arg.Pos(), "secret %s reaches %s formatting; print a fingerprint (hash) instead or waive with //gkalint:secretok <reason>", key, analysis.CalleePkgPath(pass.Info, call))
+			}
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && stringifiers[sel.Sel.Name] {
+		if key := secretName(pass, secrets, sel.X); key != "" {
+			pass.Reportf(call.Pos(), "secret %s stringified via %s; derive a fingerprint instead", key, sel.Sel.Name)
+		}
+	}
+}
+
+// checkStringer flags formatting methods declared on secret-marked types.
+func checkStringer(pass *analysis.Pass, secrets map[string]bool, fd *ast.FuncDecl) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || !stringifiers[fd.Name.Name] {
+		return
+	}
+	t := pass.Info.Types[fd.Recv.List[0].Type].Type
+	if t == nil {
+		return
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if name := analysis.NamedName(t); name != "" && secrets[name] {
+		pass.Reportf(fd.Pos(), "secret type %s declares %s: stringification leaks key material through every %%v; redact and waive with //gkalint:secretok", name, fd.Name.Name)
+	}
+}

@@ -1,0 +1,12 @@
+package secretflow_test
+
+import (
+	"testing"
+
+	"idgka/internal/lint/analysistest"
+	"idgka/internal/lint/secretflow"
+)
+
+func TestSecretFlow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), secretflow.Analyzer, "a")
+}

@@ -1,0 +1,11 @@
+// Package gq is the fixture stub of idgka/internal/sigs/gq, matching
+// the built-in secret list's fully-qualified names.
+package gq
+
+import "math/big"
+
+// PrivateKey mirrors the real GQ identity key.
+type PrivateKey struct {
+	ID string
+	S  *big.Int
+}

@@ -1,0 +1,20 @@
+// Package vault proves cross-package //gkalint:secret annotations reach
+// the analyzer through the annotation index.
+package vault
+
+// DRBGState is reseedable generator state; leaking it forfeits forward
+// secrecy.
+//
+//gkalint:secret
+type DRBGState struct {
+	V []byte
+	K []byte
+}
+
+// Creds carries one annotated field next to a public one.
+type Creds struct {
+	User string
+	// Token authenticates the session.
+	//gkalint:secret
+	Token string
+}

@@ -1,0 +1,68 @@
+// Package sidroute enforces the PR 5 outbound-routing contract: every
+// engine.Outbound constructed with field values must carry its session
+// id. An Outbound whose SID is empty is routed to whichever session
+// handle happened to step the machine; once that handle completes and
+// the application stops draining it, the reaction strands and the peer
+// wedges (the TestCrossSessionOutboxRouting bug class).
+//
+// Two shapes are exempt: the empty literal Outbound{} (the zero value
+// returned alongside an error), and sites waived with
+//
+//	//gkalint:nosid <why the id is stamped elsewhere>
+//
+// The engine's own flow constructors carry that waiver: their literals
+// are deliberately SID-less because Machine.wrapOuts stamps every
+// outbound of an enveloped flow centrally.
+package sidroute
+
+import (
+	"go/ast"
+
+	"idgka/internal/lint/analysis"
+)
+
+// outboundType is the routed message type the analyzer guards.
+const outboundType = "idgka/internal/engine.Outbound"
+
+// Analyzer reports engine.Outbound composite literals that set fields
+// but not SID.
+var Analyzer = &analysis.Analyzer{
+	Name:       "sidroute",
+	Doc:        "engine.Outbound literals must populate SID so reactions route to the owning session handle (PR 5)",
+	WaiverVerb: "nosid",
+	Run:        run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[lit]
+			if !ok || analysis.NamedName(tv.Type) != outboundType {
+				return true
+			}
+			if len(lit.Elts) == 0 {
+				// Outbound{} is the zero value of an error return, never
+				// transmitted; requiring SID there would be noise.
+				return true
+			}
+			for _, el := range lit.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					// Positional literal: all fields including SID are
+					// spelled out (fewer would not compile).
+					return true
+				}
+				if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "SID" {
+					return true
+				}
+			}
+			pass.Reportf(lit.Pos(), "engine.Outbound constructed without SID: the reaction strands on the stepping handle once it completes; set SID or waive with //gkalint:nosid <reason>")
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package sidroute_test
+
+import (
+	"testing"
+
+	"idgka/internal/lint/analysistest"
+	"idgka/internal/lint/sidroute"
+)
+
+func TestSIDRoute(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), sidroute.Analyzer, "a")
+}

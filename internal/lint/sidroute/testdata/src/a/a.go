@@ -1,0 +1,43 @@
+// Package a seeds sidroute violations and proves the exemptions.
+package a
+
+import "idgka/internal/engine"
+
+func broadcast(payload []byte) engine.Outbound {
+	return engine.Outbound{Type: "round1", Payload: payload} // want `engine\.Outbound constructed without SID`
+}
+
+func batch(payload []byte) []engine.Outbound {
+	return []engine.Outbound{
+		{Type: "round2", Payload: payload}, // want `engine\.Outbound constructed without SID`
+		{SID: "s1", Type: "round2", Payload: payload},
+	}
+}
+
+func errorPath() (engine.Outbound, error) {
+	// The zero-value error return is exempt: nothing is transmitted.
+	return engine.Outbound{}, nil
+}
+
+func positional(payload []byte) engine.Outbound {
+	// Positional literals spell out every field, SID included.
+	return engine.Outbound{"s2", "", "round1", payload, 0}
+}
+
+func withSID(payload []byte) engine.Outbound {
+	return engine.Outbound{SID: "s3", Type: "round1", Payload: payload}
+}
+
+func waived(payload []byte) engine.Outbound {
+	//gkalint:nosid stamped centrally by wrapOuts before transmission
+	return engine.Outbound{Type: "round1", Payload: payload}
+}
+
+func waivedInline(payload []byte) engine.Outbound {
+	return engine.Outbound{Type: "round1", Payload: payload} //gkalint:nosid stamped centrally by wrapOuts
+}
+
+func waivedWithoutReason(payload []byte) engine.Outbound {
+	//gkalint:nosid
+	return engine.Outbound{Type: "round1", Payload: payload} // want `gkalint:nosid waiver needs a justification`
+}

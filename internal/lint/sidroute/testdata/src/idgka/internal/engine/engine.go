@@ -1,0 +1,13 @@
+// Package engine is the fixture stub of idgka/internal/engine: just
+// enough surface for the sidroute fixtures to type-check against the
+// real fully-qualified type name.
+package engine
+
+// Outbound mirrors the real engine.Outbound field set.
+type Outbound struct {
+	SID      string
+	To       string
+	Type     string
+	Payload  []byte
+	StateLen int
+}

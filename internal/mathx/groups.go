@@ -179,8 +179,11 @@ func (sg *SchnorrGroup) InSubgroup(v *big.Int) bool {
 type RSAParams struct {
 	N *big.Int // public modulus
 	E *big.Int // public verification exponent
+	//gkalint:secret
 	P *big.Int // secret prime factor
+	//gkalint:secret
 	Q *big.Int // secret prime factor
+	//gkalint:secret
 	D *big.Int // secret extraction exponent
 
 	// mont caches the Montgomery context for N (built lazily by Mont).

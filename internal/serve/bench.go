@@ -66,7 +66,8 @@ func (o BenchOptions) groupSize() int {
 // deployment would use) so cross-group noise never reaches machines that
 // are not in the group.
 type loopback struct {
-	mu      sync.RWMutex
+	mu sync.RWMutex
+	//gkalint:guard mu
 	h       *Host
 	rosters map[string][]string
 }

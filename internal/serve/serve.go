@@ -105,10 +105,13 @@ type Host struct {
 	cfg Config
 	tx  Transmit
 
-	mu         sync.RWMutex
-	members    map[string]*hostMember
+	mu sync.RWMutex
+	//gkalint:guard mu
+	members map[string]*hostMember
+	//gkalint:callback
 	onPeerDown func(owner *idgka.Member, peer string)
 	closed     bool
+	//gkalint:guard -
 
 	shards []*shard
 	vq     *verifyQueue
@@ -125,7 +128,8 @@ type hostMember struct {
 	sh         *shard
 	tickQueued atomic.Bool
 
-	mu   sync.Mutex
+	mu sync.Mutex
+	//gkalint:guard mu
 	runs map[string]*Run
 }
 
@@ -153,8 +157,9 @@ type task struct {
 // into each other's shards; memory is bounded in practice by the
 // transport's own flow control (acknowledged sends upstream).
 type shard struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
+	mu   sync.Mutex
+	cond *sync.Cond
+	//gkalint:guard mu
 	q      []task
 	closed bool
 }
@@ -556,7 +561,7 @@ func (r *Run) Done() <-chan struct{} { return r.done }
 // Wait blocks until the run settles and returns its error (nil on a
 // committed key).
 func (r *Run) Wait() error {
-	<-r.done
+	<-r.done //gkalint:unbounded blocking-by-contract public API; session deadlines and Tick bound settlement, after which finalize closes done
 	return r.sess.Err()
 }
 

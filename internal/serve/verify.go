@@ -22,10 +22,12 @@ import (
 // to individual verdicts inside VerifyClaimsRLC, and each waiter gets
 // exactly its own claim's verdict.
 type verifyQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
+	mu   sync.Mutex
+	cond *sync.Cond
+	//gkalint:guard mu
 	pend   []pendingClaim
 	closed bool
+	//gkalint:guard -
 
 	claims  atomic.Uint64
 	batches atomic.Uint64
@@ -60,7 +62,7 @@ func (q *verifyQueue) VerifyClaim(cl *gq.Claim) error {
 	q.pend = append(q.pend, pendingClaim{claim: cl, done: done})
 	q.cond.Signal()
 	q.mu.Unlock()
-	return <-done
+	return <-done //gkalint:unbounded done is buffered (cap 1) and the worker settles every enqueued claim, draining the backlog even across close
 }
 
 // gather yield budgets: after the first claim arrives, the worker yields
@@ -114,7 +116,7 @@ func (q *verifyQueue) settle(batch []pendingClaim) {
 	q.batches.Add(1)
 	q.claims.Add(uint64(len(batch)))
 	if len(batch) == 1 {
-		batch[0].done <- batch[0].claim.Verify()
+		batch[0].done <- batch[0].claim.Verify() //gkalint:unbounded per-claim done channels are buffered (cap 1) with exactly one verdict each
 		return
 	}
 	claims := make([]*gq.Claim, len(batch))
@@ -123,14 +125,14 @@ func (q *verifyQueue) settle(batch []pendingClaim) {
 	}
 	if err := gq.VerifyClaimsRLC(rand.Reader, claims); err == nil {
 		for _, p := range batch {
-			p.done <- nil
+			p.done <- nil //gkalint:unbounded per-claim done channels are buffered (cap 1) with exactly one verdict each
 		}
 		return
 	}
 	// The combined equation failed: deliver individual verdicts so only
 	// the actually-bad claims' groups fail.
 	for _, p := range batch {
-		p.done <- p.claim.Verify()
+		p.done <- p.claim.Verify() //gkalint:unbounded per-claim done channels are buffered (cap 1) with exactly one verdict each
 	}
 }
 

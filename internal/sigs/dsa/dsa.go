@@ -19,8 +19,9 @@ import (
 // KeyPair holds a DSA private/public key over the given Schnorr group.
 type KeyPair struct {
 	Group *mathx.SchnorrGroup
-	X     *big.Int // private, in [1, q-1]
-	Y     *big.Int // public, g^x mod p
+	//gkalint:secret
+	X *big.Int // private, in [1, q-1]
+	Y *big.Int // public, g^x mod p
 }
 
 // Signature is the DSA pair (r, s), both in [1, q-1].

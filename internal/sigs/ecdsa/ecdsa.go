@@ -20,8 +20,9 @@ import (
 // KeyPair holds an ECDSA key pair on a curve.
 type KeyPair struct {
 	Curve *ec.Curve
-	D     *big.Int // private scalar
-	Q     ec.Point // public point D*G
+	//gkalint:secret
+	D *big.Int // private scalar
+	Q ec.Point // public point D*G
 }
 
 // Signature is the ECDSA pair (r, s).

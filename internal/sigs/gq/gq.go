@@ -45,7 +45,8 @@ func ParamsFrom(rp *mathx.RSAParams) Params {
 
 // PrivateKey is the ID-based secret S_ID = H(ID)^d delivered by the PKG.
 type PrivateKey struct {
-	ID  string
+	ID string
+	//gkalint:secret
 	S   *big.Int
 	Pub Params
 

@@ -36,7 +36,8 @@ type SystemParams struct {
 // PKG is the SOK private key generator holding the master secret.
 type PKG struct {
 	Params SystemParams
-	s      *big.Int
+	//gkalint:secret
+	s *big.Int
 }
 
 // NewPKG draws a master key pair over the group.
@@ -53,7 +54,8 @@ func NewPKG(r io.Reader, g *pairing.Group) (*PKG, error) {
 
 // PrivateKey is the extracted identity key D_ID = s·H1(ID).
 type PrivateKey struct {
-	ID     string
+	ID string
+	//gkalint:secret
 	D      pairing.Point
 	Params SystemParams
 }

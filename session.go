@@ -69,11 +69,13 @@ type Session struct {
 	sid string
 
 	// All fields below are guarded by mb.mu.
+	//gkalint:guard mb.mu
 	outbox []Packet
 	done   bool
 	closed bool
 	err    error
 	// Terminal results, cached when the flow commits.
+	//gkalint:secret
 	key    []byte
 	roster []string
 
@@ -99,6 +101,8 @@ type ingestResult struct {
 
 // fire invokes the collected peer-down handlers; call it only after the
 // member lock has been released.
+//
+//gkalint:callback
 func (r *ingestResult) fire() {
 	for i, fn := range r.downFns {
 		fn(r.downPeers[i])
