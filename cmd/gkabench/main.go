@@ -82,7 +82,8 @@ func groupLadder(n int) []int {
 // renderGroups formats the ladder as a text table. When the host's
 // amortized settlement queue was on, three verify-throughput columns show
 // the coalescing at work: total claims settled, the batches they were
-// folded into, and claims settled per second over the rung's wall time.
+// folded into, and claims settled per second of settlement-lane busy time
+// (Stats.VerifyBusy — the lane's throughput, not a rung-wall-time rate).
 func renderGroups(stats []serve.GroupStat, amortize bool) string {
 	var b strings.Builder
 	if len(stats) > 0 {

@@ -11,6 +11,7 @@
 // analyzers and their verbs:
 //
 //	boundedwait  //gkalint:unbounded   transport waits need deadlines (PR 4)
+//	doccomment   //gkalint:nodoc       operator-facing exports carry godoc (PR 8)
 //	lockorder    //gkalint:unlocked    guarded state needs its documented lock (PR 5)
 //	montdomain   //gkalint:rawdomain   mathx.Elem converts before boundaries (PR 6)
 //	secretflow   //gkalint:secretok    key material stays out of logs

@@ -95,6 +95,7 @@ func main() {
 	sendTimeout := flag.Duration("send-timeout", 15*time.Second, "per-delivery deadline on every Broadcast/Send (0 = unbounded)")
 	precompute := flag.Bool("precompute", false, "build fixed-base tables for the generator and identity keys")
 	workers := flag.Int("workers", 0, "per-node verification worker pool size (0 or 1 = sequential)")
+	metricsAddr := flag.String("metrics-addr", "", "serve the process metrics registry as expvar-compatible JSON on this HTTP address (e.g. 127.0.0.1:9100)")
 	flag.Parse()
 	if *n < 2 {
 		log.Fatal("-n must be >= 2")
@@ -122,6 +123,14 @@ func main() {
 		if victim != "" && *n < 3 {
 			log.Fatal("-serve -crash needs -n >= 3 (survivor rings must keep >= 2 members)")
 		}
+	}
+
+	if *metricsAddr != "" {
+		addr, err := serveMetrics(*metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		fmt.Printf("metrics on http://%s/\n", addr)
 	}
 
 	var router *transport.Router
@@ -769,7 +778,7 @@ func (p *proc) serveScenario(roster []string, groups int, victim, phase string, 
 	for g, ring := range rings {
 		for _, id := range ring {
 			sid, ring := sidEst(g), ring
-			r, err := host.Start(id, func(mb *idgka.Member) (*idgka.Session, error) {
+			r, err := host.Start(id, sid, func(mb *idgka.Member) (*idgka.Session, error) {
 				return mb.NewSession(sid, ring)
 			})
 			if err != nil {
@@ -792,7 +801,7 @@ func (p *proc) serveScenario(roster []string, groups int, victim, phase string, 
 		for g := 0; g < groups; g++ {
 			for _, id := range ringOf(g) {
 				sid, base := fmt.Sprintf("serve/g%02d/%s", g, tag), baseOf(g)
-				r, err := host.Start(id, func(mb *idgka.Member) (*idgka.Session, error) {
+				r, err := host.Start(id, sid, func(mb *idgka.Member) (*idgka.Session, error) {
 					return mb.ConfirmSession(sid, base)
 				})
 				if err != nil {
@@ -864,7 +873,7 @@ func (p *proc) serveScenario(roster []string, groups int, victim, phase string, 
 	for g := 0; g < groups; g++ {
 		for _, id := range survivorsOf(g) {
 			sid, base := fmt.Sprintf("serve/g%02d/evict", g), sidEst(g)
-			r, err := host.Start(id, func(mb *idgka.Member) (*idgka.Session, error) {
+			r, err := host.Start(id, sid, func(mb *idgka.Member) (*idgka.Session, error) {
 				return mb.LeaveSession(sid, base, []string{victim})
 			})
 			if err != nil {

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"net"
+	"net/http"
+
+	"idgka/internal/metrics"
+)
+
+// serveMetrics exposes the process-wide metrics registry (every counter,
+// gauge and histogram the serve/transport/engine layers register — the
+// reference table lives in docs/OPERATIONS.md) as an expvar-compatible
+// JSON document on addr. It returns the bound address (useful with a
+// ":0" port) and leaves the server running for the life of the process.
+func serveMetrics(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", metrics.Default.Handler())
+	mux.Handle("/metrics", metrics.Default.Handler())
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

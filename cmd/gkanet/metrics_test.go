@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"idgka/internal/metrics"
+)
+
+// TestMetricsEndpointServesRegistry boots the -metrics-addr endpoint and
+// checks it serves the live default registry as valid expvar JSON, with
+// the serving stack's instruments present (this binary links serve,
+// transport and the engine, so their package-level metrics registered at
+// import time).
+func TestMetricsEndpointServesRegistry(t *testing.T) {
+	addr, err := serveMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/", "/metrics"} {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatalf("%s did not serve valid JSON: %v\n%s", path, err, body)
+		}
+		for _, want := range []string{
+			"serve_starts_total", "serve_time_to_key_ms",
+			"transport_sends_total", "engine_timeouts_total",
+		} {
+			if _, ok := doc[want]; !ok {
+				t.Errorf("%s: metric %q missing from the endpoint", path, want)
+			}
+		}
+	}
+}
+
+// metricTableRow matches one row of the docs/OPERATIONS.md metrics
+// reference table: | `name` | type | ...
+var metricTableRow = regexp.MustCompile("^\\| *`([a-z0-9_]+)` *\\|")
+
+// TestMetricsMatchOperationsDoc is the docs meta-test: the metric names
+// this process registers (the exact set gkanet -metrics-addr serves) and
+// the reference table in docs/OPERATIONS.md must match one-for-one — a
+// metric added without documentation, or documented without existing,
+// fails here.
+func TestMetricsMatchOperationsDoc(t *testing.T) {
+	raw, err := os.ReadFile("../../docs/OPERATIONS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	documented := map[string]bool{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if m := metricTableRow.FindStringSubmatch(line); m != nil {
+			if documented[m[1]] {
+				t.Errorf("docs/OPERATIONS.md documents %q twice", m[1])
+			}
+			documented[m[1]] = true
+		}
+	}
+	if len(documented) == 0 {
+		t.Fatal("no metrics reference table found in docs/OPERATIONS.md")
+	}
+
+	registered := metrics.Default.Names()
+	for _, name := range registered {
+		if !documented[name] {
+			t.Errorf("metric %q is registered but missing from the docs/OPERATIONS.md table", name)
+		}
+		delete(documented, name)
+	}
+	stale := make([]string, 0, len(documented))
+	for name := range documented {
+		stale = append(stale, name)
+	}
+	sort.Strings(stale)
+	for _, name := range stale {
+		t.Errorf("docs/OPERATIONS.md documents %q but no code registers it", name)
+	}
+}

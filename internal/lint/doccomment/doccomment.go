@@ -1,0 +1,177 @@
+// Package doccomment enforces the PR 8 documentation contract on the
+// operator-facing packages: every exported top-level symbol of the
+// public API (idgka), the serve layer and the metrics surface carries a
+// godoc comment, and a comment that documents exactly one symbol starts
+// with that symbol's name (the godoc convention, so the rendered index
+// reads as reference documentation rather than a bare symbol list).
+//
+// Within the scoped packages the analyzer reports:
+//
+//   - an exported func, method (on an exported receiver), type, const
+//     or var with no doc comment at all. A grouped const/var
+//     declaration's doc covers every spec in the group, so one comment
+//     over a const block suffices; a type renders as its own godoc
+//     entry, so each exported type needs its own comment even inside a
+//     type (...) block;
+//   - a doc comment that belongs to a single symbol (its own spec doc,
+//     or the decl doc of a one-spec declaration) whose first word is
+//     not the symbol's name (a leading article — "A", "An", "The" — is
+//     accepted, as godoc renders it naturally).
+//
+// Deliberately undocumented exports carry //gkalint:nodoc <why> — e.g.
+// a symbol kept exported only for a test hook.
+package doccomment
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"idgka/internal/lint/analysis"
+)
+
+// Packages scopes the analyzer: the operator-facing packages whose
+// godoc is part of the documentation layer (see docs/STATIC-ANALYSIS.md
+// and docs/OPERATIONS.md).
+var Packages = map[string]bool{
+	"idgka":                  true,
+	"idgka/internal/serve":   true,
+	"idgka/internal/metrics": true,
+}
+
+// Analyzer reports exported top-level symbols of the scoped packages
+// that lack a godoc comment or whose single-symbol comment does not
+// start with the symbol's name.
+var Analyzer = &analysis.Analyzer{
+	Name:       "doccomment",
+	Doc:        "exported symbols of the operator-facing packages carry godoc comments starting with the symbol's name (PR 8)",
+	WaiverVerb: "nodoc",
+	Run:        run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !Packages[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFunc(pass, d)
+			case *ast.GenDecl:
+				checkGen(pass, d)
+			}
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, d *ast.FuncDecl) {
+	if !d.Name.IsExported() {
+		return
+	}
+	if d.Recv != nil && !exportedRecv(d.Recv) {
+		return
+	}
+	if d.Doc == nil {
+		pass.Reportf(d.Pos(), "exported %s %s has no doc comment; document it or waive with //gkalint:nodoc <reason>", funcKind(d), d.Name.Name)
+		return
+	}
+	checkLeadsWithName(pass, d.Doc, d.Name.Name, funcKind(d), d.Pos())
+}
+
+func checkGen(pass *analysis.Pass, d *ast.GenDecl) {
+	if d.Tok == token.IMPORT {
+		return
+	}
+	kind := d.Tok.String()
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			// A type renders as its own godoc entry even inside a
+			// type (...) block, so each exported spec needs its own
+			// doc (the decl doc only covers a one-spec declaration).
+			switch {
+			case s.Doc != nil:
+				checkLeadsWithName(pass, s.Doc, s.Name.Name, kind, s.Pos())
+			case d.Doc != nil && len(d.Specs) == 1:
+				checkLeadsWithName(pass, d.Doc, s.Name.Name, kind, s.Pos())
+			default:
+				pass.Reportf(s.Pos(), "exported %s %s has no doc comment; document it or waive with //gkalint:nodoc <reason>", kind, s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			name := exportedName(s.Names)
+			if name == "" {
+				continue
+			}
+			// Const/var groups read fine under one group comment, so
+			// existence is all the analyzer asks of values (and only of
+			// proper doc comments — a trailing line comment is not the
+			// godoc the reference pages render).
+			if s.Doc == nil && d.Doc == nil {
+				pass.Reportf(s.Pos(), "exported %s %s has no doc comment; document it or waive with //gkalint:nodoc <reason>", kind, name)
+			}
+		}
+	}
+}
+
+// checkLeadsWithName enforces the godoc first-word convention on a doc
+// comment that documents exactly one symbol.
+func checkLeadsWithName(pass *analysis.Pass, doc *ast.CommentGroup, name, kind string, pos token.Pos) {
+	words := strings.Fields(doc.Text())
+	// Skip leading articles: "A Run is ..." renders as naturally as
+	// "Run is ...".
+	for len(words) > 0 && (words[0] == "A" || words[0] == "An" || words[0] == "The") {
+		words = words[1:]
+	}
+	if len(words) > 0 && strings.TrimRight(words[0], ".,:;") == name {
+		return
+	}
+	if len(words) > 0 && words[0] == "Deprecated:" {
+		return
+	}
+	pass.Reportf(pos, "doc comment of exported %s %s should start with %q (godoc convention); rephrase or waive with //gkalint:nodoc <reason>", kind, name, name)
+}
+
+// exportedRecv reports whether a method's receiver base type is
+// exported (methods on unexported types are not godoc surface).
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "func"
+}
+
+// exportedName returns the first exported identifier of a value spec.
+func exportedName(names []*ast.Ident) string {
+	for _, n := range names {
+		if n.IsExported() {
+			return n.Name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,13 @@
+package doccomment_test
+
+import (
+	"testing"
+
+	"idgka/internal/lint/analysistest"
+	"idgka/internal/lint/doccomment"
+)
+
+func TestDocComment(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), doccomment.Analyzer,
+		"idgka/internal/serve", "outside")
+}

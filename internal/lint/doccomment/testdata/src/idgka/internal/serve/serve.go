@@ -1,0 +1,69 @@
+// Package serve is a doccomment fixture replicating a scoped import
+// path; the analyzer must fire here.
+package serve
+
+// Host is documented and leads with its name: clean.
+type Host struct{}
+
+// A Run is documented behind a leading article: clean.
+type Run struct{}
+
+type Stats struct{} // want `exported type Stats has no doc comment`
+
+// This comment exists but does not lead with the symbol's name.
+type Config struct{} // want `doc comment of exported type Config should start with "Config"`
+
+//gkalint:nodoc kept exported for the bench harness only
+type Loopback struct{}
+
+//gkalint:nodoc
+type Bare struct{} // want `gkalint:nodoc waiver needs a justification`
+
+// unexported types need nothing.
+type shard struct{}
+
+// grouped type specs: the spec's own doc wins and must lead with the
+// name; a spec with neither its own doc nor a one-spec decl doc is
+// reported.
+type (
+	// Option configures a Host: clean.
+	Option struct{}
+
+	Ticker struct{} // want `exported type Ticker has no doc comment`
+)
+
+// Start is documented: clean.
+func Start() {}
+
+func Deliver() {} // want `exported func Deliver has no doc comment`
+
+// Stop halts. Wrong leading word for the symbol.
+func Halt() {} // want `doc comment of exported func Halt should start with "Halt"`
+
+// Close is a documented method on an exported receiver: clean.
+func (h *Host) Close() {}
+
+func (h *Host) Wait() {} // want `exported method Wait has no doc comment`
+
+// methods on unexported receivers are not godoc surface.
+func (s *shard) Enqueue() {}
+
+// unexported funcs need nothing.
+func dispatch() {}
+
+// DefaultShards is a documented var: clean.
+var DefaultShards = 4
+
+var DefaultTick = 100 // want `exported var DefaultTick has no doc comment`
+
+// Watermark defaults for the admission layer (a group doc covers every
+// spec of the block).
+var (
+	DefaultQueue = 0
+	DefaultAge   = 0
+)
+
+const MaxGroups = 1 << 16 // want `exported const MaxGroups has no doc comment`
+
+// Deprecated: SpareKnob is retired; the marker form is accepted.
+var SpareKnob = 0

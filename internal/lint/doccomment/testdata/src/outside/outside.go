@@ -1,0 +1,7 @@
+// Package outside is out of the doccomment scope: nothing here is
+// reported, documented or not.
+package outside
+
+type Undocumented struct{}
+
+func AlsoUndocumented() {}

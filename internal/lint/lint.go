@@ -8,13 +8,14 @@
 //	go run ./cmd/gkalint ./...
 //
 // See each analyzer's package documentation for the invariant it
-// enforces and the waiver syntax; README.md's "Static analysis" section
-// has the overview.
+// enforces and the waiver syntax; docs/STATIC-ANALYSIS.md has the
+// overview.
 package lint
 
 import (
 	"idgka/internal/lint/analysis"
 	"idgka/internal/lint/boundedwait"
+	"idgka/internal/lint/doccomment"
 	"idgka/internal/lint/load"
 	"idgka/internal/lint/lockorder"
 	"idgka/internal/lint/montdomain"
@@ -25,6 +26,7 @@ import (
 // Suite is every gkalint analyzer, in reporting order.
 var Suite = []*analysis.Analyzer{
 	boundedwait.Analyzer,
+	doccomment.Analyzer,
 	lockorder.Analyzer,
 	montdomain.Analyzer,
 	secretflow.Analyzer,

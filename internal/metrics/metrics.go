@@ -1,0 +1,359 @@
+// Package metrics is the process-wide observability surface of the
+// serving stack: counters, gauges and windowed latency histograms with
+// p50/p99 extraction, collected in a name-keyed registry and exported in
+// the expvar JSON wire format (the taschain monitor/ shape: one global
+// registry, cheap atomic instruments, an HTTP snapshot endpoint).
+//
+// Instruments are created once — typically as package-level variables,
+// so importing an instrumented package registers its metrics — and are
+// safe for concurrent use. Creation is get-or-create by name: asking
+// twice for the same name returns the same instrument, so tests and
+// multiple hosts in one process share (and aggregate into) one surface.
+// Every registered metric is also published into the standard library's
+// expvar registry, so the stock /debug/vars endpoint carries them too.
+//
+// The complete reference of the names the repo registers — one table of
+// every counter, gauge and histogram, its unit, and what a spike means —
+// lives in docs/OPERATIONS.md; a meta-test keeps the table and the
+// registry in lockstep.
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"math"
+	"math/bits"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// A Counter is a monotonically increasing uint64 — events since process
+// start. Spikes are read as deltas between snapshots.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// String renders the counter as an expvar JSON value.
+func (c *Counter) String() string { return strconv.FormatUint(c.v.Load(), 10) }
+
+// A Gauge is an instantaneous int64 level: queue depths, live-run
+// counts. It moves both ways.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's level.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// SetMax raises the gauge to n if n is above the current level — a
+// high-water mark.
+func (g *Gauge) SetMax(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// String renders the gauge as an expvar JSON value.
+func (g *Gauge) String() string { return strconv.FormatInt(g.v.Load(), 10) }
+
+// histBuckets is the resolution of a Histogram: bucket i counts
+// observations in [2^(i-1), 2^i) microseconds, so the range spans
+// sub-microsecond to ~36 minutes with ~2x relative error — plenty for
+// latency quantiles.
+const histBuckets = 42
+
+// window is the rotation period of a Histogram: quantiles reflect the
+// current plus the previous window (1-2 minutes of traffic), so a
+// long-running process reports recent latency, not its lifetime average.
+const histWindow = time.Minute
+
+// A Histogram is a windowed latency distribution with quantile
+// extraction. Observations land in exponential (power-of-two
+// microsecond) buckets; Quantile merges the current and previous window
+// so a freshly rotated histogram never reports empty. Count and Sum are
+// cumulative over the process lifetime.
+type Histogram struct {
+	mu sync.Mutex
+	//gkalint:guard mu
+	cur, prev [histBuckets]uint64
+	rotated   time.Time
+	count     uint64
+	sum       time.Duration
+}
+
+// bucketOf maps a duration onto its bucket index.
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	b := bits.Len64(uint64(us))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// bucketUpperMS returns a bucket's upper bound in milliseconds — the
+// value quantile extraction reports for observations in that bucket.
+func bucketUpperMS(i int) float64 {
+	return float64(uint64(1)<<uint(i)) / 1000
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	now := time.Now()
+	h.mu.Lock()
+	h.rotateLocked(now)
+	h.cur[bucketOf(d)]++
+	h.count++
+	h.sum += d
+	h.mu.Unlock()
+}
+
+// ObserveSince records the latency from start to now.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start)) }
+
+// rotateLocked slides the window: after histWindow the current slab
+// becomes the previous one; after two windows of silence both clear.
+func (h *Histogram) rotateLocked(now time.Time) {
+	if h.rotated.IsZero() {
+		h.rotated = now
+		return
+	}
+	elapsed := now.Sub(h.rotated)
+	if elapsed < histWindow {
+		return
+	}
+	if elapsed < 2*histWindow {
+		h.prev = h.cur
+	} else {
+		h.prev = [histBuckets]uint64{}
+	}
+	h.cur = [histBuckets]uint64{}
+	h.rotated = now
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) in milliseconds over the
+// current and previous window, or NaN with no samples in the window.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.rotateLocked(time.Now())
+	var total uint64
+	for i := 0; i < histBuckets; i++ {
+		total += h.cur[i] + h.prev[i]
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.cur[i] + h.prev[i]
+		if seen >= rank {
+			return bucketUpperMS(i)
+		}
+	}
+	return bucketUpperMS(histBuckets - 1)
+}
+
+// Count returns the cumulative number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// String renders the histogram as an expvar JSON object with the
+// cumulative count, the cumulative sum in milliseconds, and the
+// windowed p50/p99 (null with no samples in the window).
+func (h *Histogram) String() string {
+	h.mu.Lock()
+	h.rotateLocked(time.Now())
+	count := h.count
+	sumMS := float64(h.sum.Microseconds()) / 1000
+	h.mu.Unlock()
+	p50 := h.Quantile(0.50)
+	p99 := h.Quantile(0.99)
+	return fmt.Sprintf(`{"count":%d,"sum_ms":%s,"p50_ms":%s,"p99_ms":%s}`,
+		count, jsonFloat(sumMS), jsonFloat(p50), jsonFloat(p99))
+}
+
+// jsonFloat renders a float as JSON, mapping NaN (no samples) to null.
+func jsonFloat(f float64) string {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return "null"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// Var is the expvar contract every instrument satisfies: String returns
+// a valid JSON value.
+type Var interface {
+	String() string
+}
+
+// A Registry is a name-keyed set of instruments. Most code uses the
+// package-level Default registry through NewCounter/NewGauge/
+// NewHistogram; a separate Registry isolates tests that must not share
+// state.
+type Registry struct {
+	mu sync.Mutex
+	//gkalint:guard mu
+	vars map[string]Var
+	// publish mirrors registrations into the stdlib expvar registry
+	// (Default only — expvar has one global namespace per process).
+	publish bool
+}
+
+// NewRegistry builds an empty, isolated registry (not mirrored into
+// expvar).
+func NewRegistry() *Registry {
+	return &Registry{vars: map[string]Var{}}
+}
+
+// Default is the process-wide registry every package-level instrument
+// registers into and the gkanet -metrics-addr endpoint serves.
+var Default = &Registry{vars: map[string]Var{}, publish: true}
+
+// getOrCreate returns the instrument registered under name, creating it
+// with mk on first use. A name already registered as a different
+// instrument kind panics — a wiring bug, not a runtime condition.
+func (r *Registry) getOrCreate(name string, mk func() Var) Var {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.vars[name]; ok {
+		return v
+	}
+	v := mk()
+	r.vars[name] = v
+	if r.publish && expvar.Get(name) == nil {
+		expvar.Publish(name, v)
+	}
+	return v
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	v := r.getOrCreate(name, func() Var { return &Counter{} })
+	c, ok := v.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %q is registered as %T, not a counter", name, v))
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	v := r.getOrCreate(name, func() Var { return &Gauge{} })
+	g, ok := v.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %q is registered as %T, not a gauge", name, v))
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	v := r.getOrCreate(name, func() Var { return &Histogram{} })
+	h, ok := v.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %q is registered as %T, not a histogram", name, v))
+	}
+	return h
+}
+
+// Names returns the registry's metric names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.vars))
+	for name := range r.vars {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Do calls f for every registered metric in name order.
+func (r *Registry) Do(f func(name string, v Var)) {
+	names := r.Names()
+	for _, name := range names {
+		r.mu.Lock()
+		v := r.vars[name]
+		r.mu.Unlock()
+		if v != nil {
+			f(name, v)
+		}
+	}
+}
+
+// WriteJSON writes the registry snapshot in the expvar wire format: one
+// JSON object, metric names as keys, each value the instrument's JSON
+// rendering.
+func (r *Registry) WriteJSON(w *strings.Builder) {
+	w.WriteString("{\n")
+	first := true
+	r.Do(func(name string, v Var) {
+		if !first {
+			w.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(w, "%q: %s", name, v.String())
+	})
+	w.WriteString("\n}\n")
+}
+
+// Handler serves the registry as an expvar-compatible JSON document —
+// mount it on the address the operator passes (gkanet -metrics-addr).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		var b strings.Builder
+		r.WriteJSON(&b)
+		_, _ = w.Write([]byte(b.String()))
+	})
+}
+
+// NewCounter returns the Default-registry counter under name, creating
+// it on first use. Call it in a package-level var declaration so the
+// metric registers at import time.
+func NewCounter(name string) *Counter { return Default.Counter(name) }
+
+// NewGauge returns the Default-registry gauge under name, creating it
+// on first use.
+func NewGauge(name string) *Gauge { return Default.Gauge(name) }
+
+// NewHistogram returns the Default-registry histogram under name,
+// creating it on first use.
+func NewHistogram(name string) *Histogram { return Default.Histogram(name) }

@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("get-or-create returned a different counter for the same name")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	g.SetMax(2)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("SetMax lowered the gauge to %d", got)
+	}
+	g.SetMax(9)
+	if got := g.Value(); got != 9 {
+		t.Fatalf("SetMax(9) = %d", got)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering \"x\" as a gauge after a counter did not panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram should report NaN")
+	}
+	// 99 fast samples and one slow one: p50 stays near 1ms, p99 spans
+	// the outlier's bucket.
+	for i := 0; i < 99; i++ {
+		h.Observe(900 * time.Microsecond)
+	}
+	h.Observe(500 * time.Millisecond)
+	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+	if p50 > 2 {
+		t.Fatalf("p50 = %vms, want ~1ms", p50)
+	}
+	// The outlier is the 100th sample; p99 rounds to rank 99, still in
+	// the fast bucket — p100 must cover the outlier.
+	p100 := h.Quantile(1.0)
+	if p100 < 500 {
+		t.Fatalf("p100 = %vms, want >= 500ms", p100)
+	}
+	if p99 > p100 {
+		t.Fatalf("p99 %v above max %v", p99, p100)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+}
+
+func TestHistogramWindowRotation(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	// Simulate two windows of silence: everything windowed expires, the
+	// cumulative count survives.
+	h.mu.Lock()
+	h.rotated = time.Now().Add(-3 * histWindow)
+	h.mu.Unlock()
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("quantile should be NaN after the window fully expired")
+	}
+	if h.Count() != 1 {
+		t.Fatalf("cumulative count = %d, want 1", h.Count())
+	}
+	// One window of silence: samples slide into prev and still count.
+	h.Observe(time.Millisecond)
+	h.mu.Lock()
+	h.rotated = time.Now().Add(-histWindow - time.Second)
+	h.mu.Unlock()
+	if math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("previous window's samples should still answer quantiles")
+	}
+}
+
+// TestHistogramConcurrent drives observers and quantile readers in
+// parallel; under -race this proves snapshots are never torn.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(ms int) {
+			defer wg.Done()
+			for j := 0; j < 2000; j++ {
+				h.Observe(time.Duration(ms) * time.Millisecond)
+			}
+		}(i + 1)
+	}
+	for i := 0; i < 500; i++ {
+		h.Quantile(0.99)
+		_ = h.String()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
+	}
+}
+
+func TestHandlerServesExpvarJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total").Add(3)
+	r.Gauge("depth").Set(-2)
+	r.Histogram("lat_ms").Observe(2 * time.Millisecond)
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("content type %q", ct)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("endpoint did not emit valid JSON: %v\n%s", err, rec.Body.String())
+	}
+	if doc["reqs_total"] != float64(3) {
+		t.Fatalf("reqs_total = %v", doc["reqs_total"])
+	}
+	if doc["depth"] != float64(-2) {
+		t.Fatalf("depth = %v", doc["depth"])
+	}
+	hist, ok := doc["lat_ms"].(map[string]any)
+	if !ok {
+		t.Fatalf("lat_ms = %v, want an object", doc["lat_ms"])
+	}
+	if hist["count"] != float64(1) {
+		t.Fatalf("lat_ms.count = %v", hist["count"])
+	}
+}
+
+func TestDefaultRegistryPublishesToExpvar(t *testing.T) {
+	c := NewCounter("metrics_test_published_total")
+	c.Inc()
+	// Registered names are visible through the package registry.
+	found := false
+	for _, name := range Default.Names() {
+		if name == "metrics_test_published_total" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("default registry does not list the new counter")
+	}
+}

@@ -210,7 +210,7 @@ func BenchmarkGroups(counts []int, opt BenchOptions) ([]GroupStat, error) {
 			sid := fmt.Sprintf("bench/g%04d/est", g)
 			lb.addRoster(sid, roster)
 			for _, id := range roster {
-				r, err := host.Start(id, func(mb *idgka.Member) (*idgka.Session, error) {
+				r, err := host.Start(id, sid, func(mb *idgka.Member) (*idgka.Session, error) {
 					return mb.NewSession(sid, roster)
 				})
 				if err != nil {
@@ -236,7 +236,7 @@ func BenchmarkGroups(counts []int, opt BenchOptions) ([]GroupStat, error) {
 			survivors := roster[:len(roster)-1]
 			lb.addRoster(sid, survivors)
 			for _, id := range survivors {
-				r, err := host.Start(id, func(mb *idgka.Member) (*idgka.Session, error) {
+				r, err := host.Start(id, sid, func(mb *idgka.Member) (*idgka.Session, error) {
 					return mb.LeaveSession(sid, base, []string{evict})
 				})
 				if err != nil {

@@ -62,6 +62,21 @@ type Config struct {
 	// intended concurrency (at least the number of simultaneously keying
 	// members).
 	AmortizeVerify bool
+	// MaxShardQueue is the admission high watermark on a shard's queue
+	// depth: a Start aimed at a shard holding this many undispatched
+	// tasks is rejected with ErrOverloaded instead of deepening the
+	// backlog. 0 disables the depth watermark. Delivered protocol
+	// traffic is never shed — only new establishments are refused.
+	MaxShardQueue int
+	// MaxShardQueueAge is the admission high watermark on a shard's lag:
+	// a Start aimed at a shard whose oldest queued task has waited this
+	// long is rejected with ErrOverloaded. 0 disables the age watermark.
+	MaxShardQueueAge time.Duration
+	// FairShare is the fraction (0, 1] of a pressured shard's live runs
+	// one group (session id) may hold before its new Starts are shed
+	// ahead of everyone else's; pressure begins at half a configured
+	// watermark. 0 selects 0.5. Irrelevant while no watermark is set.
+	FairShare float64
 }
 
 func (c Config) shards() int {
@@ -81,12 +96,28 @@ func (c Config) tickInterval() time.Duration {
 	return c.TickInterval
 }
 
+func (c Config) fairShare() float64 {
+	if c.FairShare > 0 && c.FairShare <= 1 {
+		return c.FairShare
+	}
+	return 0.5
+}
+
 // Stats is a point-in-time snapshot of a Host's counters.
 type Stats struct {
 	Members    int
 	LiveRuns   int
 	Delivered  uint64
 	SendErrors uint64
+	// Sheds counts Start calls rejected with ErrOverloaded by admission
+	// control (zero while no watermark is configured).
+	Sheds uint64
+	// QueueDepth is the current total of undispatched tasks across all
+	// shards; PeakQueueDepth is the deepest any single shard's queue has
+	// been over the host's lifetime — the number to compare against
+	// Config.MaxShardQueue when sizing watermarks.
+	QueueDepth     int
+	PeakQueueDepth int
 	// VerifyClaims and VerifyBatches count the amortized settlement
 	// queue's traffic (zero unless Config.AmortizeVerify): claims per
 	// batch averages above 1 show cross-group coalescing at work.
@@ -120,6 +151,8 @@ type Host struct {
 
 	delivered  atomic.Uint64
 	sendErrors atomic.Uint64
+	sheds      atomic.Uint64
+	peakDepth  atomic.Int64
 }
 
 // hostMember is one member plus the live runs the host drives for it.
@@ -144,39 +177,56 @@ func (hm *hostMember) liveRuns() []*Run {
 }
 
 // task is one unit of shard work: a packet delivery or a tick sweep.
+// enq stamps admission into the shard queue, the base of the queue-age
+// watermark and the queue-delay histogram.
 type task struct {
 	hm   *hostMember
 	pkt  idgka.Packet
 	tick bool
 	now  time.Time
+	enq  time.Time
 }
 
 // shard is one dispatch lane: an unbounded FIFO drained by a single
 // worker goroutine. The queue must not block producers — a blocking
 // bounded queue would deadlock loopback transports whose workers transmit
-// into each other's shards; memory is bounded in practice by the
-// transport's own flow control (acknowledged sends upstream).
+// into each other's shards; memory is bounded by shedding at ADMISSION
+// instead (Config.MaxShardQueue / MaxShardQueueAge reject new Starts
+// once the lane lags, while delivered protocol traffic always queues).
 type shard struct {
+	idx  int
 	mu   sync.Mutex
 	cond *sync.Cond
 	//gkalint:guard mu
 	q      []task
 	closed bool
+	// runs/groups is the shard's admission-fairness ledger: live runs
+	// total and per session id, maintained by Host as runs register and
+	// settle.
+	runs   int
+	groups map[string]int
+	//gkalint:guard -
 }
 
-func newShard() *shard {
-	s := &shard{}
+func newShard(idx int) *shard {
+	s := &shard{idx: idx, groups: map[string]int{}}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
 
-func (s *shard) enqueue(t task) {
+// enqueue appends one task and reports the queue depth after the append
+// (-1 when the shard is closed and the task dropped).
+func (s *shard) enqueue(t task) int {
+	t.enq = time.Now()
 	s.mu.Lock()
+	depth := -1
 	if !s.closed {
 		s.q = append(s.q, t)
+		depth = len(s.q)
 		s.cond.Signal()
 	}
 	s.mu.Unlock()
+	return depth
 }
 
 func (s *shard) next() (task, bool) {
@@ -192,6 +242,54 @@ func (s *shard) next() (task, bool) {
 	s.q[0] = task{} // release the payload; append reuses the array tail
 	s.q = s.q[1:]
 	return t, true
+}
+
+// pressure reports the shard's queue depth and the age of its oldest
+// queued task — the two admission watermarks.
+func (s *shard) pressure(now time.Time) (depth int, age time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.q) > 0 {
+		age = now.Sub(s.q[0].enq)
+	}
+	return len(s.q), age
+}
+
+// depth reports the current queue depth.
+func (s *shard) depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.q)
+}
+
+// addRun/dropRun maintain the fairness ledger; exactly one drop pairs
+// with every add (the run-registry delete sites guarantee it).
+func (s *shard) addRun(sid string) {
+	s.mu.Lock()
+	s.groups[sid]++
+	s.runs++
+	s.mu.Unlock()
+	mLiveRuns.Add(1)
+}
+
+func (s *shard) dropRun(sid string) {
+	s.mu.Lock()
+	if n := s.groups[sid]; n <= 1 {
+		delete(s.groups, sid)
+	} else {
+		s.groups[sid] = n - 1
+	}
+	s.runs--
+	s.mu.Unlock()
+	mLiveRuns.Add(-1)
+}
+
+// groupLoad reports the shard's live-run total and the share one group
+// holds of it.
+func (s *shard) groupLoad(sid string) (runs, group int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runs, s.groups[sid]
 }
 
 func (s *shard) close() {
@@ -210,7 +308,7 @@ func NewHost(cfg Config, tx Transmit) *Host {
 		stop:    make(chan struct{}),
 	}
 	for i := 0; i < cfg.shards(); i++ {
-		s := newShard()
+		s := newShard(i)
 		h.shards = append(h.shards, s)
 		h.wg.Add(1)
 		go h.worker(s)
@@ -310,7 +408,7 @@ func (h *Host) Deliver(to string, p idgka.Packet) error {
 		}
 		h.mu.RUnlock()
 		for _, hm := range targets {
-			hm.sh.enqueue(task{hm: hm, pkt: p})
+			h.enqueue(hm.sh, task{hm: hm, pkt: p})
 		}
 		return nil
 	}
@@ -320,17 +418,40 @@ func (h *Host) Deliver(to string, p idgka.Packet) error {
 	if hm == nil {
 		return fmt.Errorf("serve: unknown member %q", to)
 	}
-	hm.sh.enqueue(task{hm: hm, pkt: p})
+	h.enqueue(hm.sh, task{hm: hm, pkt: p})
 	return nil
 }
 
+// enqueue is the host-side wrapper around shard.enqueue that maintains
+// the queue-depth gauges and the host's peak-depth high-water mark.
+func (h *Host) enqueue(s *shard, t task) {
+	depth := s.enqueue(t)
+	if depth < 0 {
+		return // shard closed; the task was dropped, nothing queued
+	}
+	mQueueDepth.Add(1)
+	d := int64(depth)
+	mQueuePeak.SetMax(d)
+	for {
+		cur := h.peakDepth.Load()
+		if d <= cur || h.peakDepth.CompareAndSwap(cur, d) {
+			break
+		}
+	}
+}
+
 // Start begins one flow on a hosted member and returns its Run handle.
-// start builds the session (e.g. mb.NewSession / mb.LeaveSession); the
-// host transmits the opening traffic, arms the configured deadline, and
-// from then on completes the run from inbound traffic and ticks. A run
-// under the same session id supersedes a previous live one, which is
-// settled as superseded (mirroring the Session sid-reuse contract).
-func (h *Host) Start(memberID string, start func(mb *idgka.Member) (*idgka.Session, error)) (*Run, error) {
+// sid names the flow's session id up front (the group identity admission
+// control accounts fairness against); start builds the session under
+// that id (e.g. mb.NewSession / mb.LeaveSession). The host admits the
+// start against the member's shard watermarks BEFORE any session state
+// exists — a shed Start returns ErrOverloaded with nothing registered,
+// so retrying the same sid later is always safe. Once admitted, the host
+// transmits the opening traffic, arms the configured deadline, and from
+// then on completes the run from inbound traffic and ticks. A run under
+// the same session id supersedes a previous live one, which is settled
+// as superseded (mirroring the Session sid-reuse contract).
+func (h *Host) Start(memberID, sid string, start func(mb *idgka.Member) (*idgka.Session, error)) (*Run, error) {
 	h.mu.RLock()
 	hm := h.members[memberID]
 	closed := h.closed
@@ -338,6 +459,10 @@ func (h *Host) Start(memberID string, start func(mb *idgka.Member) (*idgka.Sessi
 	if hm == nil || closed {
 		return nil, fmt.Errorf("serve: unknown member %q (or host closed)", memberID)
 	}
+	if err := h.admit(hm, sid); err != nil {
+		return nil, err
+	}
+	mStarts.Inc()
 	// Session creation and the run-registry swap happen under one lock,
 	// so concurrent Starts of one sid order identically at the member and
 	// the host: the registry's prev is always the member-superseded
@@ -350,10 +475,20 @@ func (h *Host) Start(memberID string, start func(mb *idgka.Member) (*idgka.Sessi
 		hm.mu.Unlock()
 		return nil, err
 	}
-	r := &Run{hm: hm, sess: sess, sid: sess.SID(), done: make(chan struct{})}
+	if got := sess.SID(); got != sid {
+		hm.mu.Unlock()
+		sess.Close()
+		return nil, fmt.Errorf("serve: start built session %q but declared sid %q", got, sid)
+	}
+	r := &Run{hm: hm, sess: sess, sid: sid, started: time.Now(), done: make(chan struct{})}
 	prev := hm.runs[r.sid]
 	hm.runs[r.sid] = r
 	hm.mu.Unlock()
+	if prev == nil {
+		// A supersede replaces the registry slot in place, so the ledger
+		// count carries over from prev; only a fresh slot adds.
+		hm.sh.addRun(sid)
+	}
 	if d := h.cfg.Deadline; d > 0 {
 		sess.SetDeadline(time.Now().Add(d))
 	}
@@ -387,6 +522,8 @@ func (h *Host) worker(s *shard) {
 		if !ok {
 			return
 		}
+		mQueueDepth.Add(-1)
+		mQueueDelay.ObserveSince(t.enq)
 		if t.tick {
 			h.tickMember(t.hm, t.now)
 		} else {
@@ -399,6 +536,7 @@ func (h *Host) worker(s *shard) {
 func (h *Host) deliverTo(hm *hostMember, p idgka.Packet) {
 	reactions := hm.mb.HandlePacket(p)
 	h.delivered.Add(1)
+	mDelivered.Inc()
 	h.transmit(hm.mb.ID(), reactions)
 	// The only run a packet can complete is the one its envelope names.
 	if sid := engine.EnvelopeSID(p.Payload); sid != "" {
@@ -427,7 +565,7 @@ func (h *Host) tickLoop() {
 			h.mu.RLock()
 			for _, hm := range h.members {
 				if hm.tickQueued.CompareAndSwap(false, true) {
-					hm.sh.enqueue(task{hm: hm, tick: true, now: now})
+					h.enqueue(hm.sh, task{hm: hm, tick: true, now: now})
 				}
 			}
 			h.mu.RUnlock()
@@ -461,10 +599,14 @@ func (h *Host) settleRun(r *Run) {
 		return
 	}
 	r.hm.mu.Lock()
-	if r.hm.runs[r.sid] == r {
+	dropped := r.hm.runs[r.sid] == r
+	if dropped {
 		delete(r.hm.runs, r.sid)
 	}
 	r.hm.mu.Unlock()
+	if dropped {
+		r.hm.sh.dropRun(r.sid)
+	}
 	r.finalize()
 }
 
@@ -476,6 +618,7 @@ func (h *Host) transmit(from string, pkts []idgka.Packet) {
 	for _, p := range pkts {
 		if err := h.tx(from, p); err != nil {
 			h.sendErrors.Add(1)
+			mSendErrors.Inc()
 		}
 	}
 }
@@ -485,9 +628,14 @@ func (h *Host) Stats() Stats {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	st := Stats{
-		Members:    len(h.members),
-		Delivered:  h.delivered.Load(),
-		SendErrors: h.sendErrors.Load(),
+		Members:        len(h.members),
+		Delivered:      h.delivered.Load(),
+		SendErrors:     h.sendErrors.Load(),
+		Sheds:          h.sheds.Load(),
+		PeakQueueDepth: int(h.peakDepth.Load()),
+	}
+	for _, s := range h.shards {
+		st.QueueDepth += s.depth()
 	}
 	if h.vq != nil {
 		st.VerifyClaims = h.vq.claims.Load()
@@ -536,6 +684,7 @@ func (h *Host) Close() {
 		hm.runs = map[string]*Run{}
 		hm.mu.Unlock()
 		for _, r := range runs {
+			hm.sh.dropRun(r.sid)
 			r.sess.Close()
 			r.finalize()
 		}
@@ -547,13 +696,22 @@ type Run struct {
 	hm       *hostMember
 	sess     *idgka.Session
 	sid      string
+	started  time.Time
 	attempts atomic.Int32
 	once     sync.Once
 	done     chan struct{}
 }
 
-// finalize marks the run settled exactly once.
-func (r *Run) finalize() { r.once.Do(func() { close(r.done) }) }
+// finalize marks the run settled exactly once; a run settling with a
+// committed key feeds the time-to-key histogram.
+func (r *Run) finalize() {
+	r.once.Do(func() {
+		if !r.started.IsZero() && r.sess.Err() == nil {
+			mTimeToKey.ObserveSince(r.started)
+		}
+		close(r.done)
+	})
+}
 
 // Done is closed once the run reached a terminal state.
 func (r *Run) Done() <-chan struct{} { return r.done }
@@ -586,9 +744,13 @@ func (r *Run) Session() *idgka.Session { return r.sess }
 func (r *Run) Cancel() {
 	r.sess.Close()
 	r.hm.mu.Lock()
-	if r.hm.runs[r.sid] == r {
+	dropped := r.hm.runs[r.sid] == r
+	if dropped {
 		delete(r.hm.runs, r.sid)
 	}
 	r.hm.mu.Unlock()
+	if dropped {
+		r.hm.sh.dropRun(r.sid)
+	}
 	r.finalize()
 }

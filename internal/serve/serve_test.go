@@ -37,13 +37,13 @@ func newTestHost(t *testing.T, pool int, cfg Config) (*Host, *loopback, []string
 }
 
 // startGroup launches one flow per roster member and returns the runs.
-func startGroup(t *testing.T, h *Host, roster []string,
+func startGroup(t *testing.T, h *Host, sid string, roster []string,
 	start func(mb *idgka.Member, id string) (*idgka.Session, error)) []*Run {
 	t.Helper()
 	runs := make([]*Run, 0, len(roster))
 	for _, id := range roster {
 		id := id
-		r, err := h.Start(id, func(mb *idgka.Member) (*idgka.Session, error) {
+		r, err := h.Start(id, sid, func(mb *idgka.Member) (*idgka.Session, error) {
 			return start(mb, id)
 		})
 		if err != nil {
@@ -91,7 +91,7 @@ func TestHostMultiGroupEstablish(t *testing.T) {
 		roster := []string{ids[g%4], ids[(g+1)%4], ids[(g+2)%4]}
 		sid := fmt.Sprintf("mg/%02d", g)
 		lb.addRoster(sid, roster)
-		all[g] = startGroup(t, h, roster, func(mb *idgka.Member, _ string) (*idgka.Session, error) {
+		all[g] = startGroup(t, h, sid, roster, func(mb *idgka.Member, _ string) (*idgka.Session, error) {
 			return mb.NewSession(sid, roster)
 		})
 	}
@@ -132,7 +132,7 @@ func TestHostChurn(t *testing.T) {
 		sid := fmt.Sprintf("churn/%02d/est", g)
 		lb.addRoster(sid, rosters[g])
 		roster := rosters[g]
-		est[g] = startGroup(t, h, roster, func(mb *idgka.Member, _ string) (*idgka.Session, error) {
+		est[g] = startGroup(t, h, sid, roster, func(mb *idgka.Member, _ string) (*idgka.Session, error) {
 			return mb.NewSession(sid, roster)
 		})
 	}
@@ -150,7 +150,7 @@ func TestHostChurn(t *testing.T) {
 			sid := fmt.Sprintf("churn/%02d/join", g)
 			grown := append(append([]string(nil), roster...), joiner)
 			lb.addRoster(sid, grown)
-			runs := startGroup(t, h, grown, func(mb *idgka.Member, id string) (*idgka.Session, error) {
+			runs := startGroup(t, h, sid, grown, func(mb *idgka.Member, id string) (*idgka.Session, error) {
 				if id == joiner {
 					return mb.JoinSession(sid, "", roster, joiner)
 				}
@@ -163,7 +163,7 @@ func TestHostChurn(t *testing.T) {
 			// Confirm the grown group.
 			csid := fmt.Sprintf("churn/%02d/cfm", g)
 			lb.addRoster(csid, grown)
-			cruns := startGroup(t, h, grown, func(mb *idgka.Member, _ string) (*idgka.Session, error) {
+			cruns := startGroup(t, h, csid, grown, func(mb *idgka.Member, _ string) (*idgka.Session, error) {
 				return mb.ConfirmSession(csid, sid)
 			})
 			if !bytes.Equal(awaitGroup(t, fmt.Sprintf("churn confirm %d", g), cruns), key) {
@@ -174,7 +174,7 @@ func TestHostChurn(t *testing.T) {
 			evict := roster[1]
 			survivors := []string{roster[0], roster[2]}
 			lb.addRoster(sid, survivors)
-			runs := startGroup(t, h, survivors, func(mb *idgka.Member, _ string) (*idgka.Session, error) {
+			runs := startGroup(t, h, sid, survivors, func(mb *idgka.Member, _ string) (*idgka.Session, error) {
 				return mb.LeaveSession(sid, base, []string{evict})
 			})
 			key := awaitGroup(t, fmt.Sprintf("churn leave %d", g), runs)
@@ -191,7 +191,7 @@ func TestHostChurn(t *testing.T) {
 			}
 			sid := fmt.Sprintf("churn/%02d/evict", g)
 			lb.addRoster(sid, survivors)
-			runs := startGroup(t, h, survivors, func(mb *idgka.Member, _ string) (*idgka.Session, error) {
+			runs := startGroup(t, h, sid, survivors, func(mb *idgka.Member, _ string) (*idgka.Session, error) {
 				return mb.LeaveSession(sid, base, []string{victim})
 			})
 			key := awaitGroup(t, fmt.Sprintf("churn evict %d", g), runs)
@@ -222,7 +222,7 @@ func TestRunCancelAndSupersede(t *testing.T) {
 	h, lb, ids := newTestHost(t, 2, Config{})
 	roster := []string{ids[0], "ghost"}
 	lb.addRoster("wedge", roster)
-	r, err := h.Start(ids[0], func(mb *idgka.Member) (*idgka.Session, error) {
+	r, err := h.Start(ids[0], "wedge", func(mb *idgka.Member) (*idgka.Session, error) {
 		return mb.NewSession("wedge", roster)
 	})
 	if err != nil {
@@ -243,13 +243,13 @@ func TestRunCancelAndSupersede(t *testing.T) {
 
 	// Supersede: two Starts under one sid; the first settles as failed
 	// once the second replaces it.
-	r1, err := h.Start(ids[0], func(mb *idgka.Member) (*idgka.Session, error) {
+	r1, err := h.Start(ids[0], "dup", func(mb *idgka.Member) (*idgka.Session, error) {
 		return mb.NewSession("dup", roster)
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := h.Start(ids[0], func(mb *idgka.Member) (*idgka.Session, error) {
+	r2, err := h.Start(ids[0], "dup", func(mb *idgka.Member) (*idgka.Session, error) {
 		return mb.NewSession("dup", roster)
 	})
 	if err != nil {
@@ -277,7 +277,7 @@ func TestHostTickerDrivesDeadlines(t *testing.T) {
 	})
 	roster := []string{ids[0], "ghost"}
 	lb.addRoster("dead", roster)
-	r, err := h.Start(ids[0], func(mb *idgka.Member) (*idgka.Session, error) {
+	r, err := h.Start(ids[0], "dead", func(mb *idgka.Member) (*idgka.Session, error) {
 		return mb.NewSession("dead", roster)
 	})
 	if err != nil {

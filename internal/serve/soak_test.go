@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSoakNominalRate: at a modest offered rate with no watermarks the
+// harness sheds nothing and every offered operation completes with a key.
+func TestSoakNominalRate(t *testing.T) {
+	report, err := RunSoak(SoakOptions{
+		Pool: 6, GroupSize: 3,
+		Rate: 40, Duration: 1500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Offered == 0 {
+		t.Fatal("soak offered no operations")
+	}
+	if report.Shed != 0 || report.StartSheds != 0 {
+		t.Fatalf("nominal rate shed work: %+v", report)
+	}
+	if report.Failed != 0 {
+		t.Fatalf("%d admitted operations failed", report.Failed)
+	}
+	if report.Completed != report.Offered {
+		t.Fatalf("completed %d of %d offered", report.Completed, report.Offered)
+	}
+	if report.P50MS <= 0 || report.P99MS < report.P50MS {
+		t.Fatalf("bad quantiles: p50 %v p99 %v", report.P50MS, report.P99MS)
+	}
+	if len(report.Ops) == 0 {
+		t.Fatal("no per-class stats")
+	}
+	for _, op := range report.Ops {
+		if op.Offered != op.Completed {
+			t.Fatalf("class %s: completed %d of %d", op.Op, op.Completed, op.Offered)
+		}
+	}
+}
+
+// TestSoakOverloadShedsButAdmittedComplete is the overload acceptance
+// run in miniature: offered far beyond the sustainable rate against a
+// tight depth watermark, the host sheds Starts — and every operation it
+// did admit still reaches a confirmed key (Failed stays zero; shedding
+// happens at admission, never at delivery).
+func TestSoakOverloadShedsButAdmittedComplete(t *testing.T) {
+	report, err := RunSoak(SoakOptions{
+		Pool: 4, GroupSize: 3, Shards: 1,
+		Rate: 600, Duration: 1200 * time.Millisecond,
+		MaxShardQueue: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Shed == 0 || report.StartSheds == 0 {
+		t.Fatalf("overload shed nothing: %+v", report)
+	}
+	if report.Failed != 0 {
+		t.Fatalf("%d ADMITTED operations failed under overload", report.Failed)
+	}
+	if report.Completed == 0 {
+		t.Fatal("overload admitted nothing at all")
+	}
+	if report.Completed+report.Failed != report.Admitted {
+		t.Fatalf("admitted %d != completed %d + failed %d",
+			report.Admitted, report.Completed, report.Failed)
+	}
+	if report.ShedRate <= 0 || report.ShedRate > 1 {
+		t.Fatalf("shed rate %v out of range", report.ShedRate)
+	}
+}
+
+// TestExactQuantileMS pins the nearest-rank math the soak report uses.
+func TestExactQuantileMS(t *testing.T) {
+	if got := exactQuantileMS(nil, 0.5); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+	ds := []time.Duration{4 * time.Millisecond, 2 * time.Millisecond, 8 * time.Millisecond, 6 * time.Millisecond}
+	if got := exactQuantileMS(ds, 0.50); got != 4 {
+		t.Fatalf("p50 = %v, want 4", got)
+	}
+	if got := exactQuantileMS(ds, 0.99); got != 8 {
+		t.Fatalf("p99 = %v, want 8", got)
+	}
+	if got := exactQuantileMS(ds, 0.25); got != 2 {
+		t.Fatalf("p25 = %v, want 2", got)
+	}
+}

@@ -112,9 +112,15 @@ func (q *verifyQueue) worker() {
 // settle checks one coalesced batch and delivers per-claim verdicts.
 func (q *verifyQueue) settle(batch []pendingClaim) {
 	start := time.Now()
-	defer func() { q.busyNS.Add(uint64(time.Since(start))) }()
+	defer func() {
+		busy := time.Since(start)
+		q.busyNS.Add(uint64(busy))
+		mVerifyBusy.Add(uint64(busy.Microseconds()))
+	}()
 	q.batches.Add(1)
 	q.claims.Add(uint64(len(batch)))
+	mVerifyBatches.Inc()
+	mVerifyClaims.Add(uint64(len(batch)))
 	if len(batch) == 1 {
 		batch[0].done <- batch[0].claim.Verify() //gkalint:unbounded per-claim done channels are buffered (cap 1) with exactly one verdict each
 		return

@@ -44,8 +44,16 @@ import (
 	"time"
 
 	"idgka/internal/meter"
+	"idgka/internal/metrics"
 	"idgka/internal/netsim"
 	"idgka/internal/wire"
+)
+
+// The transport's process-wide metrics; documented in docs/OPERATIONS.md.
+var (
+	mSends        = metrics.NewCounter("transport_sends_total")
+	mSendTimeouts = metrics.NewCounter("transport_send_timeouts_total")
+	mPeerDowns    = metrics.NewCounter("transport_peer_downs_total")
 )
 
 // Frame kinds.
@@ -573,6 +581,7 @@ func (n *node) readLoop() {
 		case kindDown:
 			// A peer died: surface it in the inbox so event-driven nodes
 			// blocked in RecvWait wake and can trigger a re-key.
+			mPeerDowns.Inc()
 			n.mu.Lock()
 			n.inbox = append(n.inbox, netsim.PeerDown(f.From))
 			n.arrive.Broadcast()
@@ -600,6 +609,7 @@ func (r *Router) send(from, to, typ string, payload []byte, stateLen int) error 
 	if err != nil {
 		return err
 	}
+	mSends.Inc()
 	r.mu.Lock()
 	r.seq++
 	seq := r.seq
@@ -647,6 +657,7 @@ func (r *Router) send(from, to, typ string, payload []byte, stateLen int) error 
 			// The confirmation raced the deadline; honour it.
 			return <-ch //gkalint:unbounded slot already disarmed, so the buffered confirmation send has happened or is in flight; returns promptly
 		}
+		mSendTimeouts.Inc()
 		return fmt.Errorf("transport: delivery %d from %q unconfirmed after %v: %w",
 			seq, from, timeout, ErrSendTimeout)
 	}

@@ -6,7 +6,16 @@ import (
 	"time"
 
 	"idgka/internal/engine"
+	"idgka/internal/metrics"
 	"idgka/internal/netsim"
+)
+
+// The engine runtime's process-wide metrics; documented in
+// docs/OPERATIONS.md.
+var (
+	mRetries  = metrics.NewCounter("engine_retries_total")
+	mRestarts = metrics.NewCounter("engine_restarts_total")
+	mTimeouts = metrics.NewCounter("engine_timeouts_total")
 )
 
 // ErrSessionTimeout classifies sessions failed by an expired deadline with
@@ -182,6 +191,7 @@ func (mb *Member) ingestLocked(stepping *Session, outs []engine.Outbound, evts [
 				// number. Buffered traffic of peers that already moved to
 				// the new attempt stays queued and is replayed on restart.
 				target.retryArmed = true
+				mRetries.Inc()
 				continue
 			}
 			// A failed flow is terminal too: Done must release the
@@ -477,6 +487,7 @@ func (s *Session) Tick(now time.Time) error {
 		if s.err == nil {
 			if expired {
 				s.err = fmt.Errorf("idgka: session %q: %w", s.sid, ErrSessionTimeout)
+				mTimeouts.Inc()
 			} else {
 				s.err = fmt.Errorf("idgka: session %q: retransmission budget exhausted", s.sid)
 			}
@@ -490,6 +501,7 @@ func (s *Session) Tick(now time.Time) error {
 	s.retryArmed = false
 	s.deadline = time.Time{}
 	s.attempts++
+	mRestarts.Inc()
 	// Restarting the same session id supersedes whatever attempt is still
 	// in flight: the machine assigns attempt+1, replays any buffered
 	// traffic peers already sent for it, and drops the stale attempt's.
