@@ -1,34 +1,61 @@
 // Command gkalint runs the repo's invariant analyzers (internal/lint)
-// over the packages matching its go-list pattern arguments and exits
-// non-zero if any un-waived violation survives:
+// over the packages matching its go-list pattern arguments:
 //
 //	go run ./cmd/gkalint ./...
+//	go run ./cmd/gkalint -json ./...
 //
-// Each finding prints as file:line:col: message (analyzer). A site that
-// deliberately breaks an invariant is waived in source with a justified
-// control comment — //gkalint:<verb> <reason> on the offending line or
-// the line above; a waiver without a reason is itself a finding. The
-// analyzers and their verbs:
+// Each finding prints as file:line:col: message (analyzer); with -json
+// the run emits a single JSON object carrying the findings and the
+// suite's wall-clock time, for CI artifacts. Exit codes are distinct so
+// scripts can tell "dirty" from "broken": 0 means the sweep is clean,
+// 1 that un-waived findings survive, 2 that loading or the analyzers
+// themselves failed.
+//
+// A site that deliberately breaks an invariant is waived in source with
+// a justified control comment — //gkalint:<verb> <reason> on the
+// offending line or the line above; a waiver without a reason is itself
+// a finding. The analyzers and their verbs:
 //
 //	boundedwait  //gkalint:unbounded   transport waits need deadlines (PR 4)
+//	consttime    //gkalint:vartime     crypto hot paths stay secret-independent (PR 9)
 //	doccomment   //gkalint:nodoc       operator-facing exports carry godoc (PR 8)
+//	goroleak     //gkalint:bounded     goroutines need a visible shutdown path (PR 9)
 //	lockorder    //gkalint:unlocked    guarded state needs its documented lock (PR 5)
 //	montdomain   //gkalint:rawdomain   mathx.Elem converts before boundaries (PR 6)
-//	secretflow   //gkalint:secretok    key material stays out of logs
+//	secretflow   //gkalint:secretok    key material stays out of logs (interprocedural since PR 9)
 //	sidroute     //gkalint:nosid       engine.Outbound carries its session id (PR 5)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"idgka/internal/lint"
 )
 
+// jsonFinding is one finding in machine-readable form.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the -json output envelope.
+type jsonReport struct {
+	Findings  []jsonFinding `json:"findings"`
+	Count     int           `json:"count"`
+	ElapsedMS int64         `json:"elapsed_ms"`
+}
+
 func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a single JSON object on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: gkalint [packages]\n\nruns the idgka invariant analyzers; see package docs under internal/lint\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: gkalint [-json] [packages]\n\nruns the idgka invariant analyzers; see package docs under internal/lint\nexit codes: 0 clean, 1 findings, 2 load/internal error\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -41,13 +68,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gkalint:", err)
 		os.Exit(2)
 	}
+	start := time.Now()
 	findings, err := lint.Check(dir, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gkalint:", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	if *jsonOut {
+		report := jsonReport{
+			Findings:  []jsonFinding{},
+			Count:     len(findings),
+			ElapsedMS: time.Since(start).Milliseconds(),
+		}
+		for _, f := range findings {
+			report.Findings = append(report.Findings, jsonFinding{
+				Analyzer: f.Analyzer,
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Column:   f.Pos.Column,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "gkalint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "gkalint: %d violation(s)\n", len(findings))

@@ -753,6 +753,7 @@ func (p *proc) serveScenario(roster []string, groups int, victim, phase string, 
 	// caller's deferred router.Close, not this function, reaps them;
 	// delivering into a closed host is a no-op.
 	for _, id := range roster {
+		//gkalint:bounded pump returns when RecvWait errors: the deferred router.Close wakes and reaps it
 		go func(id string) {
 			for {
 				msgs, err := p.router.RecvWait(id)

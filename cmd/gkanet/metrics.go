@@ -21,6 +21,7 @@ func serveMetrics(addr string) (string, error) {
 	mux.Handle("/", metrics.Default.Handler())
 	mux.Handle("/metrics", metrics.Default.Handler())
 	srv := &http.Server{Handler: mux}
+	//gkalint:bounded process-lifetime metrics listener; Serve returns when the listener closes at exit
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), nil
 }

@@ -62,6 +62,10 @@ type Pass struct {
 	// Index holds cross-package gkalint annotations collected over every
 	// loaded package (never nil during Run).
 	Index *Index
+	// Prog is the whole-program view (call graph, shared taint engine)
+	// over every loaded package — the substrate of the interprocedural
+	// analyzers (never nil during Run).
+	Prog *Program
 
 	report func(Diagnostic)
 }
@@ -271,6 +275,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 // being analyzed themselves.
 func RunWithIndex(pkgs, indexed []*Package, analyzers []*Analyzer) ([]Finding, error) {
 	idx := buildIndex(indexed)
+	prog := BuildProgram(indexed, idx)
 	var findings []Finding
 	for _, pkg := range pkgs {
 		wm := collectWaivers(pkg)
@@ -283,6 +288,7 @@ func RunWithIndex(pkgs, indexed []*Package, analyzers []*Analyzer) ([]Finding, e
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
 				Index:    idx,
+				Prog:     prog,
 				report:   func(d Diagnostic) { diags = append(diags, d) },
 			}
 			if err := a.Run(pass); err != nil {

@@ -7,14 +7,22 @@
 // in fixtures and production code. Diagnostics pass through the central
 // waiver filter, so negative fixtures prove //gkalint:<verb> comments
 // suppress findings (and that justification-free waivers do not).
+//
+// Since PR 9 fixture arguments may be "dir/..." patterns: every package
+// directory beneath testdata/src/dir is loaded as a target, which is how
+// the interprocedural analyzers get multi-package fixtures — a secret
+// declared in one fixture package, leaked from another, with want
+// markers on both sides of the import edge.
 package analysistest
 
 import (
 	"fmt"
 	"go/token"
+	"os"
 	"path/filepath"
 	"regexp"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 
@@ -47,31 +55,99 @@ var wantArgRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
 // `// want` markers.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 	t.Helper()
+	problems, err := Problems(testdata, a, paths...)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	for _, p := range problems {
+		t.Errorf("%s", p)
+	}
+}
+
+// Problems is the harness core, separated from testing.T so the harness
+// itself is testable: it runs the analyzer over the fixture packages and
+// returns one message per mismatch — an unexpected diagnostic, or a want
+// marker nothing matched. An empty slice means the fixture is green.
+func Problems(testdata string, a *analysis.Analyzer, paths ...string) ([]string, error) {
+	expanded, err := Expand(testdata, paths...)
+	if err != nil {
+		return nil, err
+	}
 	loader := load.NewSourceLoader(filepath.Join(testdata, "src"))
 	var targets []*analysis.Package
-	for _, p := range paths {
+	for _, p := range expanded {
 		pkg, err := loader.Load(p)
 		if err != nil {
-			t.Fatalf("loading fixture %q: %v", p, err)
+			return nil, fmt.Errorf("loading fixture %q: %v", p, err)
 		}
 		targets = append(targets, pkg)
 	}
 	findings, err := analysis.RunWithIndex(targets, loader.Loaded(), []*analysis.Analyzer{a})
 	if err != nil {
-		t.Fatalf("running %s: %v", a.Name, err)
+		return nil, fmt.Errorf("running %s: %v", a.Name, err)
 	}
-	wants := collectWants(t, loader.Fset, targets)
+	wants, err := collectWants(loader.Fset, targets)
+	if err != nil {
+		return nil, err
+	}
 
+	var problems []string
 	for _, f := range findings {
 		if !matchWant(wants, f) {
-			t.Errorf("%s: unexpected diagnostic: %s", filepath.Base(f.Pos.Filename), f)
+			problems = append(problems, fmt.Sprintf("%s: unexpected diagnostic: %s", filepath.Base(f.Pos.Filename), f))
 		}
 	}
 	for _, w := range wants {
 		if !w.matched {
-			t.Errorf("%s:%d: no diagnostic matched `%s`", filepath.Base(w.file), w.line, w.rx)
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matched `%s`", filepath.Base(w.file), w.line, w.rx))
 		}
 	}
+	return problems, nil
+}
+
+// Expand resolves fixture arguments to package paths: a plain path names
+// one package, "dir/..." every directory beneath testdata/src/dir that
+// contains .go files, in sorted order.
+func Expand(testdata string, paths ...string) ([]string, error) {
+	src := filepath.Join(testdata, "src")
+	var out []string
+	for _, p := range paths {
+		dir, ok := strings.CutSuffix(p, "/...")
+		if !ok {
+			out = append(out, p)
+			continue
+		}
+		var found []string
+		root := filepath.Join(src, filepath.FromSlash(dir))
+		err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+			if err != nil {
+				return err
+			}
+			if !info.IsDir() && strings.HasSuffix(path, ".go") {
+				rel, err := filepath.Rel(src, filepath.Dir(path))
+				if err != nil {
+					return err
+				}
+				found = append(found, filepath.ToSlash(rel))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("expanding fixture pattern %q: %v", p, err)
+		}
+		sort.Strings(found)
+		prev := ""
+		for _, f := range found {
+			if f != prev {
+				out = append(out, f)
+				prev = f
+			}
+		}
+		if len(found) == 0 {
+			return nil, fmt.Errorf("fixture pattern %q matched no packages", p)
+		}
+	}
+	return out, nil
 }
 
 func matchWant(wants []*want, f analysis.Finding) bool {
@@ -87,8 +163,7 @@ func matchWant(wants []*want, f analysis.Finding) bool {
 // collectWants scans fixture comments for want markers. A marker expects
 // its diagnostics on its own line; several quoted or backquoted regexps
 // may follow one marker.
-func collectWants(t *testing.T, fset *token.FileSet, pkgs []*analysis.Package) []*want {
-	t.Helper()
+func collectWants(fset *token.FileSet, pkgs []*analysis.Package) ([]*want, error) {
 	var wants []*want
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
@@ -101,7 +176,7 @@ func collectWants(t *testing.T, fset *token.FileSet, pkgs []*analysis.Package) [
 					pos := fset.Position(c.Pos())
 					args := wantArgRe.FindAllStringSubmatch(m[1], -1)
 					if len(args) == 0 {
-						t.Fatalf("%s:%d: malformed want marker %q", pos.Filename, pos.Line, c.Text)
+						return nil, fmt.Errorf("%s:%d: malformed want marker %q", pos.Filename, pos.Line, c.Text)
 					}
 					for _, arg := range args {
 						pat := arg[1]
@@ -110,7 +185,7 @@ func collectWants(t *testing.T, fset *token.FileSet, pkgs []*analysis.Package) [
 						}
 						rx, err := regexp.Compile(pat)
 						if err != nil {
-							t.Fatalf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+							return nil, fmt.Errorf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
 						}
 						wants = append(wants, &want{file: pos.Filename, line: pos.Line, rx: rx})
 					}
@@ -118,7 +193,7 @@ func collectWants(t *testing.T, fset *token.FileSet, pkgs []*analysis.Package) [
 			}
 		}
 	}
-	return wants
+	return wants, nil
 }
 
 func unquote(s string) string {

@@ -1,0 +1,10 @@
+// Package mismatch is deliberately wrong in both directions: a finding
+// with no marker, and a marker with no finding. The harness's own tests
+// assert Problems reports both.
+package mismatch
+
+// Bad has no want marker: an unexpected diagnostic.
+func Bad() {}
+
+// Good never fires the analyzer, so this marker goes unmatched.
+func Good() {} // want `function Bad declared`

@@ -1,0 +1,9 @@
+// Package dep is the imported half of the multi-package harness
+// fixture: its marker must be honored when loaded via "multi/...".
+package dep
+
+// Bad is flagged by the harness's test analyzer.
+func Bad() {} // want `function Bad declared`
+
+// Good is not.
+func Good() int { return 1 }

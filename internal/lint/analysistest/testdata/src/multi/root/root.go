@@ -1,0 +1,8 @@
+// Package root imports its sibling fixture package, proving the
+// "multi/..." pattern loads both sides of the edge as targets.
+package root
+
+import "multi/dep"
+
+// Bad is flagged by the harness's test analyzer.
+func Bad() int { return dep.Good() } // want `function Bad declared`

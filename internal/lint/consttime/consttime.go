@@ -1,0 +1,132 @@
+// Package consttime enforces constant-time discipline in the crypto hot
+// paths: within internal/mathx, internal/bdkey and internal/sigs/...,
+// control flow and memory addressing must not depend on secret values.
+// A branch on a private exponent's bits, a loop bounded by key material,
+// or a table index derived from a secret is an instruction-cache /
+// branch-predictor side channel — the classic leak shape in modular
+// exponentiation code.
+//
+// Secrets are the same roots the secretflow analyzer uses (the builtin
+// list plus //gkalint:secret markers), carried interprocedurally by the
+// shared taint engine: the forward pass marks every parameter that any
+// caller, in any package, feeds a secret — so the engine knows that
+// mathx.ExpElem's exponent is the engine layer's Group.R long before
+// mathx itself mentions a marked field. Within a scoped function the
+// analyzer reports:
+//
+//   - an if condition or switch tag mentioning a secret-derived value
+//     (secret-dependent branch);
+//   - a for condition or range operand mentioning one (secret-dependent
+//     loop bound — iterating a secret's bits leaks its length and
+//     pattern);
+//   - a slice/array/map index mentioning one (secret-dependent table
+//     lookup — data-cache addressing leaks the digit).
+//
+// The repo's math/big-backed fallbacks are deliberately variable-time
+// (math/big itself is, irreducibly); those sites carry a justified
+// //gkalint:vartime <why> waiver so the exception is visible in the
+// diff, not silent.
+package consttime
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"idgka/internal/lint/analysis"
+)
+
+// scopedPrefixes are the crypto hot-path packages (and their fixture
+// replicas under analysistest trees) where the discipline applies.
+var scopedPrefixes = []string{
+	"idgka/internal/mathx",
+	"idgka/internal/bdkey",
+	"idgka/internal/sigs",
+}
+
+// Analyzer reports secret-dependent control flow and indexing in the
+// crypto hot paths.
+var Analyzer = &analysis.Analyzer{
+	Name:       "consttime",
+	Doc:        "crypto hot paths must not branch, loop, or index on secret-derived values; deliberate variable-time fallbacks carry //gkalint:vartime (PR 9)",
+	WaiverVerb: "vartime",
+	Run:        run,
+}
+
+func scoped(path string) bool {
+	for _, p := range scopedPrefixes {
+		if analysis.PathWithin(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !scoped(pass.Pkg.Path()) {
+		return nil
+	}
+	taint := pass.Prog.Taint()
+	pkg := pass.Prog.PackageOf(pass.Pkg)
+	if pkg == nil {
+		return nil
+	}
+	for _, fn := range pass.Prog.Funcs() {
+		if fn.Pkg != pkg || fn.Decl == nil || fn.Body() == nil {
+			continue
+		}
+		checkFunc(pass, taint.FuncTaint(fn), fn)
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, q *analysis.FuncTaint, fn *analysis.Func) {
+	ast.Inspect(fn.Body(), func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			report(pass, q, n.Cond, n.Pos(), "branch")
+		case *ast.SwitchStmt:
+			if n.Tag != nil {
+				report(pass, q, n.Tag, n.Pos(), "branch")
+			}
+		case *ast.ForStmt:
+			if n.Cond != nil {
+				report(pass, q, n.Cond, n.Pos(), "loop bound")
+			}
+		case *ast.RangeStmt:
+			report(pass, q, n.X, n.Pos(), "loop bound")
+		case *ast.IndexExpr:
+			if indexable(pass, n.X) {
+				report(pass, q, n.Index, n.Pos(), "table index")
+			}
+		}
+		return true
+	})
+}
+
+func report(pass *analysis.Pass, q *analysis.FuncTaint, e ast.Expr, pos token.Pos, kind string) {
+	roots := q.Mentions(e)
+	if len(roots) == 0 {
+		return
+	}
+	pass.Reportf(pos, "secret-dependent %s on %s in a crypto hot path; make it constant-time or waive with //gkalint:vartime <reason>",
+		kind, strings.Join(roots, ", "))
+}
+
+// indexable reports whether the indexed operand is data memory (slice,
+// array, map) rather than a generic instantiation.
+func indexable(pass *analysis.Pass, x ast.Expr) bool {
+	t := pass.Info.Types[x].Type
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Array, *types.Map:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package consttime_test
+
+import (
+	"testing"
+
+	"idgka/internal/lint/analysistest"
+	"idgka/internal/lint/consttime"
+)
+
+func TestConstTime(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), consttime.Analyzer, "idgka/...")
+}

@@ -1,0 +1,69 @@
+// Package mathx replicates the repo's crypto hot-path import path so
+// the consttime analyzer's scoping applies to the fixture.
+package mathx
+
+// Scalar is fixture key material.
+type Scalar struct {
+	//gkalint:secret
+	K []byte
+}
+
+// Select branches and table-indexes on secret bytes — the classic
+// sliding-window leak shape.
+func Select(s Scalar, table []uint32) uint32 {
+	if s.K[0]&1 == 1 { // want `secret-dependent branch on idgka/internal/mathx\.Scalar\.K`
+		return table[s.K[1]] // want `secret-dependent table index on idgka/internal/mathx\.Scalar\.K`
+	}
+	return 0
+}
+
+// Iterate loops over the secret: the bound leaks its length and the
+// body's trip pattern its content.
+func Iterate(s Scalar) int {
+	n := 0
+	for _, b := range s.K { // want `secret-dependent loop bound on idgka/internal/mathx\.Scalar\.K`
+		n += int(b)
+	}
+	return n
+}
+
+// inner never mentions a marked name itself: the secret arrives only
+// through Outer's call, carried by the forward pass — the finding the
+// old single-function suite could not see.
+func inner(k []byte) int {
+	if k[0] == 0 { // want `secret-dependent branch on idgka/internal/mathx\.Scalar\.K`
+		return 1
+	}
+	return 0
+}
+
+// Outer feeds the secret across the call edge.
+func Outer(s Scalar) int {
+	return inner(s.K)
+}
+
+// Validate stays clean: nil-ness is presence, not content.
+func Validate(s Scalar) bool {
+	if s.K == nil {
+		return false
+	}
+	return true
+}
+
+// Waived is the sanctioned escape hatch for deliberate variable-time
+// code.
+func Waived(s Scalar, table []uint32) uint32 {
+	//gkalint:vartime fixture justification for a deliberate branch
+	if s.K[0] == 0 {
+		return table[0]
+	}
+	return 1
+}
+
+// Public control flow stays silent.
+func Public(n int, table []uint32) uint32 {
+	if n > 0 {
+		return table[n]
+	}
+	return 0
+}

@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"idgka/internal/lint/analysistest"
+	"idgka/internal/lint/goroleak"
+)
+
+func TestGoroLeak(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), goroleak.Analyzer, "g")
+}

@@ -1,0 +1,98 @@
+// Package g exercises the goroutine shutdown-path analyzer: every go
+// statement needs a visible termination signal or a justified waiver.
+package g
+
+import "sync"
+
+func work() {}
+
+// Leak spins forever with no signal — the finding the old suite missed.
+func Leak() {
+	go func() { // want `goroutine has no visible shutdown path`
+		for {
+			work()
+		}
+	}()
+}
+
+// LeakSender blocks on send: a sender abandoned by its receiver is the
+// leak, so sending is deliberately not a shutdown signal.
+func LeakSender(ch chan int) {
+	go func() { // want `goroutine has no visible shutdown path`
+		for {
+			ch <- 1
+		}
+	}()
+}
+
+// Unresolvable spawns through a function value the call graph cannot
+// see into.
+func Unresolvable(f func()) {
+	go f() // want `goroutine target is not statically resolvable`
+}
+
+// OKSelect terminates through the done-channel pattern.
+func OKSelect(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// OKRange drains a channel; close(ch) ends the loop.
+func OKRange(ch chan int) {
+	go func() {
+		for range ch {
+			work()
+		}
+	}()
+}
+
+// OKWaitGroup is accounted for.
+func OKWaitGroup(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func waiter(done chan struct{}) { <-done }
+
+// OKDeclared spawns a declared function whose body receives.
+func OKDeclared(done chan struct{}) {
+	go waiter(done)
+}
+
+// OKIndirect terminates one call level down — within the search depth.
+func OKIndirect(done chan struct{}) {
+	go func() {
+		waiter(done)
+	}()
+}
+
+// Waived is the sanctioned escape hatch for lifetimes the analyzer
+// cannot see.
+func Waived() {
+	//gkalint:bounded fixture justification: process-lifetime worker
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+// BareWaiver shows an unjustified waiver is itself a finding.
+func BareWaiver() {
+	//gkalint:bounded
+	go func() { // want `gkalint:bounded waiver needs a justification`
+		for {
+			work()
+		}
+	}()
+}

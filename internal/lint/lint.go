@@ -15,7 +15,9 @@ package lint
 import (
 	"idgka/internal/lint/analysis"
 	"idgka/internal/lint/boundedwait"
+	"idgka/internal/lint/consttime"
 	"idgka/internal/lint/doccomment"
+	"idgka/internal/lint/goroleak"
 	"idgka/internal/lint/load"
 	"idgka/internal/lint/lockorder"
 	"idgka/internal/lint/montdomain"
@@ -26,7 +28,9 @@ import (
 // Suite is every gkalint analyzer, in reporting order.
 var Suite = []*analysis.Analyzer{
 	boundedwait.Analyzer,
+	consttime.Analyzer,
 	doccomment.Analyzer,
+	goroleak.Analyzer,
 	lockorder.Analyzer,
 	montdomain.Analyzer,
 	secretflow.Analyzer,

@@ -4,9 +4,16 @@ import (
 	"path/filepath"
 	"runtime"
 	"testing"
+	"time"
 
 	"idgka/internal/lint"
 )
+
+// suiteBudget bounds the whole-repo sweep's wall-clock time. The
+// whole-program layer (call graph + bounded taint fixpoint) must stay
+// cheap enough to run on every push; if the suite outgrows this, fix
+// the engine, don't raise the budget.
+const suiteBudget = 2 * time.Minute
 
 // TestRepoIsClean is the meta-test the CI lint-gkalint job mirrors: the
 // whole repository, with its deliberate waivers, must pass the full
@@ -22,9 +29,13 @@ func TestRepoIsClean(t *testing.T) {
 		t.Fatal("runtime.Caller failed")
 	}
 	root := filepath.Dir(filepath.Dir(filepath.Dir(file)))
+	start := time.Now()
 	findings, err := lint.Check(root, "./...")
 	if err != nil {
 		t.Fatalf("lint.Check: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > suiteBudget {
+		t.Errorf("suite took %v, over the %v budget — the whole-program pass has regressed", elapsed, suiteBudget)
 	}
 	for _, f := range findings {
 		t.Errorf("%s", f)

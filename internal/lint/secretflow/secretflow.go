@@ -1,19 +1,26 @@
 // Package secretflow keeps key material out of formatted output.
 // Private exponents, extracted identity keys and session keys must never
-// reach fmt/log formatting, error strings, or stringification methods —
-// one %v on the wrong struct ships a private exponent to a log
+// reach fmt/log formatting, error strings, metrics, or stringification
+// methods — one %v on the wrong struct ships a private exponent to a log
 // aggregator. Fingerprints (hashes of key bytes) are the sanctioned way
 // to print key identity.
 //
 // Secrets are declared where they live, with a //gkalint:secret marker
 // on the struct field or type declaration; the annotation index makes
 // markers visible across packages within one gkalint run, and a built-in
-// list covers the repo's known key material as a floor. The analyzer
-// reports:
+// list (analysis.BuiltinSecrets) covers the repo's known key material as
+// a floor.
 //
-//   - a secret value (marked field selector, or value of a marked type)
-//     passed to any fmt or log function — Errorf included, so secrets
-//     cannot ride into error chains;
+// Since PR 9 the analyzer is interprocedural: it rides the shared
+// whole-program taint engine (analysis.Taint), so a secret that leaves
+// through a helper's return value, a closure capture, a method value, or
+// an interface call and only then meets fmt.Errorf is reported at the
+// point where the secret entered the flow. The analyzer reports:
+//
+//   - a secret value — or any value data-derived from one through
+//     assignments, returns, function summaries, math/big copies and
+//     encodings — reaching any fmt/log/log-slog/metrics sink, across
+//     function and package boundaries;
 //   - String/Text/GoString/Append called directly on a secret;
 //   - a marked type declaring String, GoString, Format, MarshalText or
 //     MarshalJSON (stringification invites accidental leaks; redact
@@ -30,19 +37,6 @@ import (
 	"idgka/internal/lint/analysis"
 )
 
-// builtinSecrets is the floor: the repo's known key material, enforced
-// even where annotations are out of the analyzed set.
-var builtinSecrets = []string{
-	"idgka/internal/sigs/gq.PrivateKey",
-	"idgka/internal/sigs/gq.PrivateKey.S",
-	"idgka/internal/sigs/sok.PrivateKey",
-	"idgka/internal/sigs/sok.PrivateKey.D",
-	"idgka/internal/sigs/sok.PKG.s",
-	"idgka/internal/engine.Group.R",
-	"idgka/internal/engine.Group.Key",
-	"idgka.Session.key",
-}
-
 // stringifiers are method names that turn a value into output.
 var stringifiers = map[string]bool{
 	"String": true, "GoString": true, "Format": true,
@@ -53,24 +47,25 @@ var stringifiers = map[string]bool{
 // Analyzer reports key material flowing into formatted output.
 var Analyzer = &analysis.Analyzer{
 	Name:       "secretflow",
-	Doc:        "private exponents, identity keys and session keys must not reach fmt/log/error formatting or Stringers",
+	Doc:        "private exponents, identity keys and session keys must not reach fmt/log/error/metrics output or Stringers, across function boundaries",
 	WaiverVerb: "secretok",
 	Run:        run,
 }
 
 func run(pass *analysis.Pass) error {
-	secrets := map[string]bool{}
-	for _, s := range builtinSecrets {
-		secrets[s] = true
+	taint := pass.Prog.Taint()
+	if pkg := pass.Prog.PackageOf(pass.Pkg); pkg != nil {
+		for _, leak := range taint.Leaks(pkg) {
+			pass.Reportf(leak.Pos, "secret %s reaches %s%s; print a fingerprint (hash) instead or waive with //gkalint:secretok <reason>",
+				leak.Root, sinkPhrase(leak.Sink), viaClause(leak.Via))
+		}
 	}
-	for s := range pass.Index.Secrets {
-		secrets[s] = true
-	}
+	secrets := func(name string) bool { return taint.Secret(name) }
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:
-				checkCall(pass, secrets, n)
+				checkStringified(pass, secrets, n)
 			case *ast.FuncDecl:
 				checkStringer(pass, secrets, n)
 			}
@@ -80,12 +75,28 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// secretName classifies an expression: the key it is secret under, or "".
-func secretName(pass *analysis.Pass, secrets map[string]bool, e ast.Expr) string {
+func sinkPhrase(pkg string) string {
+	if pkg == "idgka/internal/metrics" {
+		return "a metrics sink"
+	}
+	return pkg + " formatting"
+}
+
+func viaClause(via string) string {
+	if via == "" {
+		return ""
+	}
+	return " (via " + via + ")"
+}
+
+// secretName classifies an expression directly: the key it is secret
+// under, or "". This is the local (v1) classification used for the
+// stringifier checks; flow-derived classification lives in the engine.
+func secretName(pass *analysis.Pass, secrets func(string) bool, e ast.Expr) string {
 	e = ast.Unparen(e)
 	if sel, ok := e.(*ast.SelectorExpr); ok {
 		if fld, owner, ok := analysis.FieldOf(pass.Info, sel); ok {
-			if key := owner + "." + fld.Name(); secrets[key] {
+			if key := owner + "." + fld.Name(); secrets(key) {
 				return key
 			}
 		}
@@ -95,24 +106,15 @@ func secretName(pass *analysis.Pass, secrets map[string]bool, e ast.Expr) string
 		if p, ok := t.Underlying().(*types.Pointer); ok {
 			t = p.Elem()
 		}
-		if name := analysis.NamedName(t); name != "" && secrets[name] {
+		if name := analysis.NamedName(t); name != "" && secrets(name) {
 			return name
 		}
 	}
 	return ""
 }
 
-// checkCall flags secrets passed into fmt/log sinks and direct
-// stringification of secrets.
-func checkCall(pass *analysis.Pass, secrets map[string]bool, call *ast.CallExpr) {
-	switch analysis.CalleePkgPath(pass.Info, call) {
-	case "fmt", "log", "log/slog":
-		for _, arg := range call.Args {
-			if key := secretName(pass, secrets, arg); key != "" {
-				pass.Reportf(arg.Pos(), "secret %s reaches %s formatting; print a fingerprint (hash) instead or waive with //gkalint:secretok <reason>", key, analysis.CalleePkgPath(pass.Info, call))
-			}
-		}
-	}
+// checkStringified flags direct stringification of secrets.
+func checkStringified(pass *analysis.Pass, secrets func(string) bool, call *ast.CallExpr) {
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && stringifiers[sel.Sel.Name] {
 		if key := secretName(pass, secrets, sel.X); key != "" {
 			pass.Reportf(call.Pos(), "secret %s stringified via %s; derive a fingerprint instead", key, sel.Sel.Name)
@@ -121,7 +123,7 @@ func checkCall(pass *analysis.Pass, secrets map[string]bool, call *ast.CallExpr)
 }
 
 // checkStringer flags formatting methods declared on secret-marked types.
-func checkStringer(pass *analysis.Pass, secrets map[string]bool, fd *ast.FuncDecl) {
+func checkStringer(pass *analysis.Pass, secrets func(string) bool, fd *ast.FuncDecl) {
 	if fd.Recv == nil || len(fd.Recv.List) == 0 || !stringifiers[fd.Name.Name] {
 		return
 	}
@@ -132,7 +134,7 @@ func checkStringer(pass *analysis.Pass, secrets map[string]bool, fd *ast.FuncDec
 	if p, ok := t.Underlying().(*types.Pointer); ok {
 		t = p.Elem()
 	}
-	if name := analysis.NamedName(t); name != "" && secrets[name] {
+	if name := analysis.NamedName(t); name != "" && secrets(name) {
 		pass.Reportf(fd.Pos(), "secret type %s declares %s: stringification leaks key material through every %%v; redact and waive with //gkalint:secretok", name, fd.Name.Name)
 	}
 }

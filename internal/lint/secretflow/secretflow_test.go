@@ -10,3 +10,15 @@ import (
 func TestSecretFlow(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), secretflow.Analyzer, "a")
 }
+
+// TestInterprocedural covers the cross-package flow: secret declared in
+// leak/helper, leaked from leak/svc, sink inside the helper's body.
+func TestInterprocedural(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), secretflow.Analyzer, "leak/...")
+}
+
+// TestEngineEdgeCases covers recursion, mutual recursion, closures,
+// method values, and interface dispatch.
+func TestEngineEdgeCases(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), secretflow.Analyzer, "edge")
+}

@@ -1,0 +1,104 @@
+// Package edge exercises the taint engine's corner cases: recursion,
+// mutual recursion, closures capturing secrets, method values, and
+// interface dispatch through the conservative all-implementations
+// fallback.
+package edge
+
+import "fmt"
+
+// Vault holds fixture key material.
+type Vault struct {
+	ID string
+	//gkalint:secret
+	Token []byte
+}
+
+// red passes its argument through N levels of self-recursion; the
+// summary fixpoint must carry taint through the cycle.
+func red(b []byte, n int) []byte {
+	if n == 0 {
+		return b
+	}
+	return red(b, n-1)
+}
+
+// UseRecursion leaks through the recursive identity.
+func UseRecursion(v Vault) {
+	fmt.Println(red(v.Token, 2)) // want `secret edge\.Vault\.Token reaches fmt formatting`
+}
+
+// ping/pong are mutually recursive; taint converges over rounds.
+func ping(b []byte, n int) []byte {
+	if n == 0 {
+		return b
+	}
+	return pong(b, n-1)
+}
+
+func pong(b []byte, n int) []byte {
+	return ping(b, n-1)
+}
+
+// UseMutualRecursion leaks through the two-function cycle.
+func UseMutualRecursion(v Vault) {
+	fmt.Printf("%x", ping(v.Token, 3)) // want `secret edge\.Vault\.Token reaches fmt formatting`
+}
+
+// UseClosure leaks through a captured variable: the literal is scanned
+// in place, sharing its encloser's object map.
+func UseClosure(v Vault) {
+	t := v.Token
+	dump := func() {
+		fmt.Printf("%x\n", t) // want `secret edge\.Vault\.Token reaches fmt formatting`
+	}
+	dump()
+}
+
+// logger's Emit sinks its argument; only callers decide whether that is
+// a leak.
+type logger struct{ prefix string }
+
+func (l logger) Emit(b []byte) {
+	fmt.Printf("%s: %x\n", l.prefix, b)
+}
+
+// UseMethodValue binds the method first and calls through the binding:
+// the argument must land on parameter slot 1, after the bound receiver.
+func UseMethodValue(v Vault) {
+	l := logger{prefix: "k"}
+	emit := l.Emit
+	emit(v.Token) // want `secret edge\.Vault\.Token reaches fmt formatting \(via Emit\)`
+}
+
+// writer dispatches dynamically; the engine unions every same-name,
+// same-arity method in the program (conservative fallback).
+type writer interface{ Write(b []byte) }
+
+type consoleWriter struct{}
+
+func (consoleWriter) Write(b []byte) {
+	fmt.Printf("%x\n", b)
+}
+
+// UseInterface leaks through dynamic dispatch.
+func UseInterface(v Vault, w writer) {
+	w.Write(v.Token) // want `secret edge\.Vault\.Token reaches fmt formatting \(via Write\)`
+}
+
+// UseProjection stays clean: selecting an unmarked field from a value
+// tainted only by its type does not leak.
+func UseProjection(v Vault) {
+	fmt.Println(v.ID)
+}
+
+// UseWaived is suppressed by a justified waiver.
+func UseWaived(v Vault) {
+	//gkalint:secretok deliberate fixture dump with justification
+	fmt.Printf("%x\n", v.Token)
+}
+
+// UseBareWaiver shows an unjustified waiver is itself a finding.
+func UseBareWaiver(v Vault) {
+	//gkalint:secretok
+	fmt.Printf("%x\n", v.Token) // want `gkalint:secretok waiver needs a justification`
+}

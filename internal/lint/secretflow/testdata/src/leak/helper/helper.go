@@ -1,0 +1,19 @@
+// Package helper is the provider half of the cross-package fixture:
+// it declares the secret and a formatting helper whose summary says
+// "my parameter reaches fmt".
+package helper
+
+import "fmt"
+
+// Creds is a credential pair: public ID, secret token.
+type Creds struct {
+	ID string
+	//gkalint:secret
+	Token []byte
+}
+
+// Describe formats a raw token. There is no finding here — the
+// parameter is only dangerous once a caller hands it key material.
+func Describe(tok []byte) string {
+	return fmt.Sprintf("token=%x", tok)
+}

@@ -1,0 +1,31 @@
+// Package svc exercises secret flow across a package boundary: the
+// secret is declared in leak/helper, the leak happens here, and the
+// sink is inside the helper's body — invisible to any single-package
+// analysis.
+package svc
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"leak/helper"
+)
+
+// Report leaks: the marked field crosses the package boundary into a
+// helper whose summary reaches fmt.
+func Report(c helper.Creds) string {
+	return helper.Describe(c.Token) // want `secret leak/helper\.Creds\.Token reaches fmt formatting \(via Describe\)`
+}
+
+// Struct leaks through the container: a value field holding the secret
+// is printed with the whole struct.
+func Struct(c helper.Creds) {
+	v := helper.Creds{ID: "copy", Token: c.Token}
+	fmt.Printf("%v\n", v) // want `secret leak/helper\.Creds\.Token reaches fmt formatting`
+}
+
+// Fingerprint is the sanctioned pattern: only a digest is formatted.
+func Fingerprint(c helper.Creds) string {
+	sum := sha256.Sum256(c.Token)
+	return fmt.Sprintf("token#%x", sum[:4])
+}

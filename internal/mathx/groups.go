@@ -244,9 +244,11 @@ func (rp *RSAParams) Validate() error {
 		return errors.New("mathx: incomplete RSA params")
 	}
 	if rp.P != nil && rp.Q != nil {
+		//gkalint:vartime offline parameter validation at setup, not a per-session signing path
 		if new(big.Int).Mul(rp.P, rp.Q).Cmp(rp.N) != 0 {
 			return errors.New("mathx: N != P*Q")
 		}
+		//gkalint:vartime Miller-Rabin on the factors is inherently variable-time; setup only
 		if !IsProbablePrime(rp.P) || !IsProbablePrime(rp.Q) {
 			return errors.New("mathx: RSA factor not prime")
 		}

@@ -116,6 +116,7 @@ func ModExp(base, exp, m *big.Int) (*big.Int, error) {
 	if m.Sign() <= 0 {
 		return nil, errors.New("mathx: ModExp modulus must be positive")
 	}
+	//gkalint:vartime dispatch on the exponent's sign only; both arms run big.Int.Exp on the magnitude
 	if exp.Sign() >= 0 {
 		return new(big.Int).Exp(base, exp, m), nil
 	}

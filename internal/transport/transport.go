@@ -494,6 +494,7 @@ func (r *Router) Attach(id string, m *meter.Meter) error {
 	}
 	r.nodes[id] = n
 	r.mu.Unlock()
+	//gkalint:bounded readLoop exits when the node's connection closes (Detach or router Close)
 	go n.readLoop()
 	return nil
 }
