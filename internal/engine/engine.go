@@ -320,6 +320,7 @@ func (mc *Machine) claimBuilder(roster []string) (*gq.GroupVerifier, error) {
 	if gv := mc.gvCache[key]; gv != nil {
 		return gv, nil
 	}
+	//gkalint:blocked identityProduct joins a bounded pool of CPU-only goroutines that always terminate; nothing external can wedge gvMu
 	gv, err := gq.NewClaimBuilder(gq.ParamsFrom(mc.cfg.Set.RSA), roster)
 	if err != nil {
 		return nil, err

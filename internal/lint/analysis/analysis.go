@@ -90,13 +90,28 @@ type Index struct {
 	// fields and on methods: "pkgpath.Type.Name". Marked callables are
 	// user callbacks that must not be invoked while a lock is held.
 	Callbacks map[string]bool
+	// Guards holds //gkalint:guard regions read out of struct bodies:
+	// "pkgpath.Type" -> field name -> guard path relative to the struct
+	// value (e.g. "mu", "mb.mu"). Collected globally so a guard declared
+	// in one package protects accesses from every other package.
+	Guards map[string]map[string]string
 }
 
+// Guard returns the guard path for a field of an owner type, or "".
+func (idx *Index) Guard(owner, field string) string { return idx.Guards[owner][field] }
+
 // A Finding is one post-waiver diagnostic, positioned and attributed.
+// Suppressed findings (covered by a justified waiver) are retained by
+// RunAll so the SARIF emitter can report them with their audit trail;
+// the plain Run entry points drop them.
 type Finding struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Suppressed marks a finding covered by a justified waiver.
+	Suppressed bool
+	// Justification is the waiver's reason when Suppressed.
+	Justification string
 }
 
 func (f Finding) String() string {
@@ -170,11 +185,67 @@ func (wm waiverMap) lookup(file string, line int, verb string) (waiver, bool) {
 
 // buildIndex scans every loaded package for cross-package annotations.
 func buildIndex(pkgs []*Package) *Index {
-	idx := &Index{Secrets: map[string]bool{}, Callbacks: map[string]bool{}}
+	idx := &Index{Secrets: map[string]bool{}, Callbacks: map[string]bool{}, Guards: map[string]map[string]string{}}
 	for _, pkg := range pkgs {
 		collectAnnotations(pkg, idx)
+		collectGuards(pkg, idx)
 	}
 	return idx
+}
+
+// collectGuards reads //gkalint:guard markers out of struct bodies into
+// the index. A marker guards every field declared after it (in source
+// order) until a //gkalint:guard - marker ends the region.
+func collectGuards(pkg *Package, idx *Index) {
+	for _, f := range pkg.Files {
+		// Comments inside a struct body may be floating (attached to the
+		// file, not a field), so index them all by position.
+		type marker struct {
+			pos  token.Pos
+			path string
+		}
+		var markers []marker
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, "gkalint:guard") {
+					continue
+				}
+				path := strings.TrimSpace(strings.TrimPrefix(text, "gkalint:guard"))
+				markers = append(markers, marker{pos: c.Pos(), path: path})
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			typeName := pkg.PkgPath + "." + ts.Name.Name
+			for _, fld := range st.Fields.List {
+				// The innermost marker before this field wins.
+				cur := ""
+				for _, m := range markers {
+					if m.pos > st.Struct && m.pos < fld.Pos() {
+						cur = m.path
+					}
+				}
+				if cur == "" || cur == "-" {
+					continue
+				}
+				if idx.Guards[typeName] == nil {
+					idx.Guards[typeName] = map[string]string{}
+				}
+				for _, name := range fld.Names {
+					idx.Guards[typeName][name.Name] = cur
+				}
+			}
+			return true
+		})
+	}
 }
 
 // markerOn reports whether a gkalint marker verb is attached to the node:
@@ -274,6 +345,25 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 // dependency packages contribute their //gkalint:secret markers without
 // being analyzed themselves.
 func RunWithIndex(pkgs, indexed []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	all, _, err := RunAll(pkgs, indexed, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	var active []Finding
+	for _, f := range all {
+		if !f.Suppressed {
+			active = append(active, f)
+		}
+	}
+	return active, nil
+}
+
+// RunAll is RunWithIndex, but it additionally returns waiver-suppressed
+// findings (Suppressed true, carrying the waiver's justification)
+// interleaved with the active ones, plus the whole-program view — the
+// SARIF emitter consumes the full list and the -lockgraph dump consumes
+// the program.
+func RunAll(pkgs, indexed []*Package, analyzers []*Analyzer) ([]Finding, *Program, error) {
 	idx := buildIndex(indexed)
 	prog := BuildProgram(indexed, idx)
 	var findings []Finding
@@ -292,14 +382,23 @@ func RunWithIndex(pkgs, indexed []*Package, analyzers []*Analyzer) ([]Finding, e
 				report:   func(d Diagnostic) { diags = append(diags, d) },
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+				return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
 			}
 			for _, d := range diags {
 				pos := pkg.Fset.Position(d.Pos)
 				if a.WaiverVerb != "" {
 					if w, ok := wm.lookup(pos.Filename, pos.Line, a.WaiverVerb); ok {
 						if w.reason != "" {
-							continue // justified waiver: suppressed
+							// Justified waiver: suppressed but retained for
+							// the SARIF audit trail.
+							findings = append(findings, Finding{
+								Analyzer:      a.Name,
+								Pos:           pos,
+								Message:       d.Message,
+								Suppressed:    true,
+								Justification: w.reason,
+							})
+							continue
 						}
 						findings = append(findings, Finding{
 							Analyzer: a.Name,
@@ -323,5 +422,5 @@ func RunWithIndex(pkgs, indexed []*Package, analyzers []*Analyzer) ([]Finding, e
 		}
 		return a.Message < b.Message
 	})
-	return findings, nil
+	return findings, prog, nil
 }

@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the shared blocking-site catalogue: the single answer to
+// "can this operation park the goroutine indefinitely?" that boundedwait
+// (PR 4's no-wedge rule on transport paths) and the interprocedural
+// lock engine's blocks-summary (blockunderlock) both consume. Keeping
+// one catalogue means a shape added for one analyzer — a new io helper,
+// a new bounded source — is immediately visible to the other.
+
+// A BlockKind classifies a blocking site, because the exemptions differ:
+// channel operations escape through selects, I/O through deadlines, and
+// Wait through nothing at all.
+type BlockKind int
+
+const (
+	// BlockChan is a channel send, receive, or for-range.
+	BlockChan BlockKind = iota
+	// BlockIO is deadline-capable connection I/O (direct or through an
+	// io helper) in a context that never arms a deadline.
+	BlockIO
+	// BlockWait is sync.WaitGroup.Wait.
+	BlockWait
+)
+
+// IOHelpers are io functions that block on the reader/writer they wrap.
+var IOHelpers = map[string]bool{
+	"ReadFull": true, "ReadAll": true, "Copy": true, "CopyN": true, "WriteString": true,
+}
+
+// SelectEscapes collects the channel operations that live inside a
+// select with an escape hatch (a default case, or at least two cases):
+// such operations cannot wedge the goroutine on their own, so both
+// boundedwait and the lock engine's blocking detection exempt them.
+func SelectEscapes(body ast.Node) map[ast.Node]bool {
+	exempt := map[ast.Node]bool{}
+	if body == nil {
+		return exempt
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, cl := range sel.Body.List {
+			if cl.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		if hasDefault || len(sel.Body.List) >= 2 {
+			for _, cl := range sel.Body.List {
+				markComm(exempt, cl.(*ast.CommClause).Comm)
+			}
+		}
+		return true
+	})
+	return exempt
+}
+
+// markComm registers a comm clause's blocking operation as select-guarded.
+func markComm(exempt map[ast.Node]bool, comm ast.Stmt) {
+	switch s := comm.(type) {
+	case *ast.SendStmt:
+		exempt[s] = true
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok {
+			exempt[u] = true
+		}
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			if u, ok := ast.Unparen(r).(*ast.UnaryExpr); ok {
+				exempt[u] = true
+			}
+		}
+	}
+}
+
+// ArmsDeadline reports whether the body ever arms a connection deadline
+// (SetDeadline and friends), which bounds every subsequent I/O wait in
+// the same function.
+func ArmsDeadline(body ast.Node) bool {
+	armed := false
+	if body == nil {
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "SetDeadline", "SetReadDeadline", "SetWriteDeadline":
+				armed = true
+			}
+		}
+		return true
+	})
+	return armed
+}
+
+// BoundedRecv reports whether a receive operand is inherently bounded:
+// time.After/Tick, a Timer/Ticker C field, or a Done() channel.
+func BoundedRecv(info *types.Info, x ast.Expr) bool {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.CallExpr:
+		if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			return true
+		}
+		if CalleePkgPath(info, x) == "time" {
+			if obj := CalleeObj(info, x); obj != nil {
+				switch obj.Name() {
+				case "After", "Tick":
+					return true
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		if x.Sel.Name != "C" {
+			return false
+		}
+		t := info.Types[x.X].Type
+		if t == nil {
+			return false
+		}
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		switch NamedName(t) {
+		case "time.Timer", "time.Ticker":
+			return true
+		}
+	}
+	return false
+}
+
+// DeadlineCapable reports whether the type's method set includes
+// SetDeadline (net.Conn and anything wrapping it duck-typed).
+func DeadlineCapable(pkg *types.Package, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, pkg, "SetDeadline")
+	_, isFn := obj.(*types.Func)
+	return isFn
+}
+
+// BlockingCall classifies a call expression as a blocking operation:
+// deadline-capable connection I/O (direct Read/Write or through an io
+// helper) and sync.WaitGroup.Wait. sync.Cond.Wait is deliberately not
+// blocking here — it atomically releases the mutex it rides on, so it is
+// the one wait that is safe (and idiomatic) under a lock.
+func BlockingCall(pkg *Package, call *ast.CallExpr) (desc string, kind BlockKind, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false
+	}
+	switch sel.Sel.Name {
+	case "Read", "Write", "ReadFrom", "WriteTo":
+		if DeadlineCapable(pkg.Types, pkg.Info.Types[sel.X].Type) {
+			return sel.Sel.Name + " on a deadline-capable connection", BlockIO, true
+		}
+	case "Wait":
+		t := pkg.Info.Types[sel.X].Type
+		if t == nil {
+			return "", 0, false
+		}
+		if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if NamedName(t) == "sync.WaitGroup" {
+			return "sync.WaitGroup.Wait", BlockWait, true
+		}
+	}
+	if CalleePkgPath(pkg.Info, call) == "io" && IOHelpers[sel.Sel.Name] {
+		for _, arg := range call.Args {
+			if DeadlineCapable(pkg.Types, pkg.Info.Types[arg].Type) {
+				return "io." + sel.Sel.Name + " over a deadline-capable connection", BlockIO, true
+			}
+		}
+	}
+	return "", 0, false
+}
+
+// BlockingNode classifies non-call blocking nodes: channel sends,
+// receives outside bounded sources, and for-range over a channel. The
+// exempt set (SelectEscapes) must already cover the node's select
+// context.
+func BlockingNode(pkg *Package, n ast.Node, exempt map[ast.Node]bool) (desc string, ok bool) {
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		if !exempt[n] {
+			return "channel send", true
+		}
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW && !exempt[n] && !BoundedRecv(pkg.Info, n.X) {
+			return "channel receive", true
+		}
+	case *ast.RangeStmt:
+		if t := pkg.Info.Types[n.X].Type; t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				return "for-range over a channel", true
+			}
+		}
+	}
+	return "", false
+}

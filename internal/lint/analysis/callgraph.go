@@ -115,6 +115,7 @@ type Program struct {
 	methods map[string][]*Func     // method name -> declared methods (interface fallback)
 
 	taint *Taint // lazily built shared taint engine
+	locks *Locks // lazily built shared lock engine
 }
 
 // BuildProgram indexes every function of the loaded packages.

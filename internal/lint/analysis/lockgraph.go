@@ -1,0 +1,239 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// The global lock-acquisition graph: a directed edge A → B for every
+// program point that acquires lock B while (transitively) holding lock
+// A, with locks named at the type level ("pkg.Type.field"), so two call
+// chains that take the same pair of locks in opposite orders show up as
+// a cycle — the classic ABBA deadlock — before any execution does.
+// Cycles are reported by the lockcycle analyzer; cmd/gkalint -lockgraph
+// renders the whole graph as DOT for operators.
+
+const (
+	maxCycleLen = 6  // elementary cycles longer than this are noise
+	maxCycles   = 32 // defensive cap; a real repo has a handful at most
+)
+
+// A LockEdge is one acquired-while-holding fact.
+type LockEdge struct {
+	From, To string   // canonical lock names
+	Mode     LockMode // how To is acquired
+	Pos      token.Pos
+	Pkg      *Package
+	Fn       string // function containing the acquisition (or call)
+	Via      string // call chain when the acquisition is transitive
+}
+
+// Position resolves the edge's position against its package's fileset.
+func (e *LockEdge) Position() token.Position { return e.Pkg.Fset.Position(e.Pos) }
+
+// A LockCycle is an elementary cycle in the acquisition graph,
+// canonicalised to start at its lexicographically smallest lock.
+type LockCycle struct {
+	Key   string // "A → B → A", used for dedupe and messages
+	Edges []*LockEdge
+}
+
+// Describe renders the cycle with each edge's witness chain, e.g.
+// "a.Mu → b.Mu in A.One via B.Two; b.Mu → a.Mu in B.Two via Poke".
+func (c *LockCycle) Describe() string {
+	parts := make([]string, 0, len(c.Edges))
+	for _, e := range c.Edges {
+		p := fmt.Sprintf("%s → %s in %s", e.From, e.To, e.Fn)
+		if e.Via != "" {
+			p += " via " + e.Via
+		}
+		parts = append(parts, p)
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Edges returns the deduplicated acquisition edges, sorted.
+func (l *Locks) Edges() []*LockEdge { return l.edges }
+
+// Cycles returns the elementary cycles found in the acquisition graph.
+func (l *Locks) Cycles() []*LockCycle { return l.cycles }
+
+// buildGraph runs the post-fixpoint edge pass: every declared function
+// is walked once more, and each acquisition (direct or through a
+// callee's summary) under a non-empty held set contributes edges.
+func (l *Locks) buildGraph() {
+	var raw []*LockEdge
+	for _, fn := range l.prog.all {
+		if fn.Lit != nil || fn.Body() == nil {
+			continue // literals are reached through their enclosing function
+		}
+		fn := fn
+		v := &LockVisitor{
+			Acquire: func(mutex, canon string, mode LockMode, pos token.Pos, held HeldSet) {
+				if canon == "" {
+					return
+				}
+				for _, h := range held {
+					if h.Canon == "" {
+						continue
+					}
+					raw = append(raw, &LockEdge{From: h.Canon, To: canon, Mode: mode, Pos: pos, Pkg: fn.Pkg, Fn: fn.ShortName()})
+				}
+			},
+			Call: func(call *ast.CallExpr, callee *Func, held HeldSet) {
+				if len(held) == 0 {
+					return
+				}
+				for _, target := range l.CallTargets(fn.Pkg, call, callee) {
+					for canon, site := range l.summaryOf(target).acquires {
+						for _, h := range held {
+							if h.Canon == "" {
+								continue
+							}
+							raw = append(raw, &LockEdge{From: h.Canon, To: canon, Mode: site.mode, Pos: call.Pos(), Pkg: fn.Pkg, Fn: fn.ShortName(), Via: chain(target, site.via)})
+						}
+					}
+				}
+			},
+		}
+		l.Walk(fn, nil, v)
+	}
+	// Deterministic order, then one witness per (From, To) pair —
+	// direct edges sort before transitive ones at the same position
+	// only by file order, which is stable.
+	sort.Slice(raw, func(i, j int) bool {
+		if raw[i].From != raw[j].From {
+			return raw[i].From < raw[j].From
+		}
+		if raw[i].To != raw[j].To {
+			return raw[i].To < raw[j].To
+		}
+		pi, pj := raw[i].Position(), raw[j].Position()
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return raw[i].Via < raw[j].Via
+	})
+	l.edges = l.edges[:0]
+	seen := map[string]bool{}
+	for _, e := range raw {
+		k := e.From + "\x00" + e.To
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		l.edges = append(l.edges, e)
+	}
+	l.cycles = findCycles(l.edges)
+}
+
+// findCycles enumerates elementary cycles: a DFS from each start node in
+// sorted order that only visits nodes >= the start, so every cycle is
+// found exactly once, rooted at its smallest lock. Self-edges (acquiring
+// a lock already held, e.g. through recursion) are length-1 cycles.
+func findCycles(edges []*LockEdge) []*LockCycle {
+	adj := map[string][]*LockEdge{}
+	nodeSet := map[string]bool{}
+	for _, e := range edges {
+		adj[e.From] = append(adj[e.From], e)
+		nodeSet[e.From], nodeSet[e.To] = true, true
+	}
+	nodes := make([]string, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	var cycles []*LockCycle
+	for _, start := range nodes {
+		if len(cycles) >= maxCycles {
+			break
+		}
+		var path []*LockEdge
+		onPath := map[string]bool{start: true}
+		var dfs func(node string)
+		dfs = func(node string) {
+			if len(cycles) >= maxCycles || len(path) >= maxCycleLen {
+				return
+			}
+			for _, e := range adj[node] {
+				if e.To < start {
+					continue
+				}
+				if e.To == start {
+					c := make([]*LockEdge, len(path)+1)
+					copy(c, path)
+					c[len(path)] = e
+					names := make([]string, 0, len(c)+1)
+					for _, ce := range c {
+						names = append(names, ce.From)
+					}
+					names = append(names, start)
+					cycles = append(cycles, &LockCycle{Key: strings.Join(names, " → "), Edges: c})
+					continue
+				}
+				if onPath[e.To] {
+					continue
+				}
+				onPath[e.To] = true
+				path = append(path, e)
+				dfs(e.To)
+				path = path[:len(path)-1]
+				delete(onPath, e.To)
+			}
+		}
+		dfs(start)
+	}
+	return cycles
+}
+
+// DOT renders the acquisition graph for `gkalint -lockgraph`: one node
+// per canonical lock, one labelled edge per acquired-while-holding
+// witness. Locks on a cycle are drawn filled so the deadlock candidates
+// stand out.
+func (l *Locks) DOT() string {
+	onCycle := map[string]bool{}
+	for _, c := range l.cycles {
+		for _, e := range c.Edges {
+			onCycle[e.From], onCycle[e.To] = true, true
+		}
+	}
+	var b strings.Builder
+	b.WriteString("digraph lockorder {\n")
+	b.WriteString("\trankdir=LR;\n")
+	b.WriteString("\tnode [shape=box, fontname=\"monospace\"];\n")
+	nodeSet := map[string]bool{}
+	for _, e := range l.edges {
+		nodeSet[e.From], nodeSet[e.To] = true, true
+	}
+	nodes := make([]string, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		if onCycle[n] {
+			fmt.Fprintf(&b, "\t%q [style=filled, fillcolor=\"#ffdddd\"];\n", n)
+		} else {
+			fmt.Fprintf(&b, "\t%q;\n", n)
+		}
+	}
+	for _, e := range l.edges {
+		label := e.Fn
+		if e.Via != "" {
+			label += " → " + e.Via
+		}
+		if e.Mode == LockRead {
+			label += " (RLock)"
+		}
+		fmt.Fprintf(&b, "\t%q -> %q [label=%q];\n", e.From, e.To, label)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

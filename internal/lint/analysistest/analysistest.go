@@ -13,9 +13,17 @@
 // the interprocedural analyzers get multi-package fixtures — a secret
 // declared in one fixture package, leaked from another, with want
 // markers on both sides of the import edge.
+//
+// Since PR 10 a fixture can also pin the analyzer's machine-readable
+// surface: RunGolden renders the sweep — active findings and
+// waiver-suppressed ones alike — as a SARIF log with URIs relative to
+// testdata and compares it byte-for-byte against a checked-in golden
+// file. Set GKALINT_UPDATE=1 to rewrite the golden after an intentional
+// change.
 package analysistest
 
 import (
+	"bytes"
 	"fmt"
 	"go/token"
 	"os"
@@ -28,6 +36,7 @@ import (
 
 	"idgka/internal/lint/analysis"
 	"idgka/internal/lint/load"
+	"idgka/internal/lint/sarif"
 )
 
 // TestData returns the caller's testdata directory root.
@@ -103,6 +112,62 @@ func Problems(testdata string, a *analysis.Analyzer, paths ...string) ([]string,
 		}
 	}
 	return problems, nil
+}
+
+// RunGolden checks the analyzer's SARIF rendering of the fixture
+// packages against the golden file at testdata/<golden>. Unlike Run it
+// keeps waiver-suppressed findings, so the golden pins the suppression
+// objects (kind inSource plus the waiver's justification) exactly as CI
+// uploads them. When the environment variable GKALINT_UPDATE is set the
+// golden is rewritten instead and the test passes.
+func RunGolden(t *testing.T, testdata string, a *analysis.Analyzer, golden string, paths ...string) {
+	t.Helper()
+	got, err := GoldenSARIF(testdata, a, paths...)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	path := filepath.Join(testdata, golden)
+	if os.Getenv("GKALINT_UPDATE") != "" {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("updating golden %s: %v", golden, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden %s (rerun with GKALINT_UPDATE=1 to create it): %v", golden, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("SARIF output diverges from %s (rerun with GKALINT_UPDATE=1 after verifying the change):\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+}
+
+// GoldenSARIF is RunGolden's core: it runs the analyzer over the fixture
+// packages keeping suppressed findings and renders the SARIF log with
+// URIs relative to testdata (so goldens are machine-independent).
+func GoldenSARIF(testdata string, a *analysis.Analyzer, paths ...string) ([]byte, error) {
+	expanded, err := Expand(testdata, paths...)
+	if err != nil {
+		return nil, err
+	}
+	loader := load.NewSourceLoader(filepath.Join(testdata, "src"))
+	var targets []*analysis.Package
+	for _, p := range expanded {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			return nil, fmt.Errorf("loading fixture %q: %v", p, err)
+		}
+		targets = append(targets, pkg)
+	}
+	findings, _, err := analysis.RunAll(targets, loader.Loaded(), []*analysis.Analyzer{a})
+	if err != nil {
+		return nil, fmt.Errorf("running %s: %v", a.Name, err)
+	}
+	var buf bytes.Buffer
+	if err := sarif.New([]*analysis.Analyzer{a}, findings, testdata).Encode(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // Expand resolves fixture arguments to package paths: a plain path names

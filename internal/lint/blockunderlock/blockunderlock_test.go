@@ -1,0 +1,19 @@
+package blockunderlock_test
+
+import (
+	"testing"
+
+	"idgka/internal/lint/analysistest"
+	"idgka/internal/lint/blockunderlock"
+)
+
+func TestBlockUnderLock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), blockunderlock.Analyzer, "bul")
+}
+
+// TestGoldenSARIF pins the machine-readable surface CI uploads: the
+// fixture's active findings at level error and the //gkalint:blocked
+// waiver at level note with its inSource suppression and justification.
+func TestGoldenSARIF(t *testing.T) {
+	analysistest.RunGolden(t, analysistest.TestData(), blockunderlock.Analyzer, "bul.sarif.golden", "bul")
+}

@@ -1,0 +1,106 @@
+// Package bul seeds blocking-under-lock violations and proves the
+// exemptions, modeled on the repo's hub/member delivery idiom.
+package bul
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Hub owns a mutex, a delivery channel, and a connection.
+type Hub struct {
+	mu    sync.Mutex
+	ch    chan int
+	wg    sync.WaitGroup
+	conn  net.Conn
+	cond  *sync.Cond
+	ready bool
+}
+
+func (h *Hub) directSend() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ch <- 1 // want `channel send while holding h\.mu`
+}
+
+func (h *Hub) escapedSend() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select {
+	case h.ch <- 1: // escape hatch: cannot wedge on its own
+	default:
+	}
+}
+
+func (h *Hub) boundedRecv() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select {
+	case v := <-h.ch:
+		return v
+	case <-time.After(time.Second):
+		return 0
+	}
+}
+
+// flush blocks, but holds nothing itself — clean here, and the blocking
+// fact lands in its summary.
+func (h *Hub) flush() {
+	h.ch <- 1
+}
+
+func (h *Hub) helperBlock() {
+	h.mu.Lock()
+	h.flush() // want `call may block \(channel send, via flush\) while holding h\.mu`
+	h.mu.Unlock()
+}
+
+func (h *Hub) waitUnder() {
+	h.mu.Lock()
+	h.wg.Wait() // want `sync\.WaitGroup\.Wait while holding h\.mu`
+	h.mu.Unlock()
+}
+
+// condWait is the sanctioned wait: sync.Cond.Wait atomically releases
+// the mutex it rides on.
+func (h *Hub) condWait() {
+	h.mu.Lock()
+	for !h.ready {
+		h.cond.Wait()
+	}
+	h.mu.Unlock()
+}
+
+func (h *Hub) ioUnder(buf []byte) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := io.ReadFull(h.conn, buf) // want `io\.ReadFull over a deadline-capable connection while holding h\.mu`
+	return err
+}
+
+// ioArmed bounds its I/O with a deadline, so holding the lock across it
+// is a bounded (if rude) wait, not a wedge.
+func (h *Hub) ioArmed(buf []byte) error {
+	h.conn.SetDeadline(time.Now().Add(time.Second))
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := h.conn.Read(buf)
+	return err
+}
+
+// drainLocked runs under the caller's lock by contract: blocking here
+// blocks under a lock nobody in this body ever took.
+func (h *Hub) drainLocked() int {
+	return <-h.ch // want `channel receive while holding h\.\(caller lock\)`
+}
+
+// waived: the deliberate exception, justified — also the suppression
+// case the golden SARIF fixture pins.
+func (h *Hub) waived() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	//gkalint:blocked ch is buffered cap 1 and the slot is freed under this same lock before every send
+	h.ch <- 1
+}

@@ -19,6 +19,11 @@
 //     function that never arms a deadline — including such connections
 //     handed to io.ReadFull/io.Copy.
 //
+// The blocking-site catalogue itself (what counts as a block, and what
+// escapes it) lives in analysis/blocking.go, shared with the lock
+// engine's blockunderlock — one definition of "can this wedge a
+// goroutine" for both analyzers.
+//
 // Deliberately unbounded sites carry //gkalint:unbounded <why> — e.g.
 // the serve layer's per-shard FIFO, which is unbounded by design because
 // a bounded queue deadlocks loopback transports.
@@ -27,7 +32,6 @@ package boundedwait
 import (
 	"go/ast"
 	"go/token"
-	"go/types"
 
 	"idgka/internal/lint/analysis"
 )
@@ -37,11 +41,6 @@ import (
 var Packages = map[string]bool{
 	"idgka/internal/transport": true,
 	"idgka/internal/serve":     true,
-}
-
-// ioHelpers are io functions that block on the reader/writer they wrap.
-var ioHelpers = map[string]bool{
-	"ReadFull": true, "ReadAll": true, "Copy": true, "CopyN": true, "WriteString": true,
 }
 
 // Analyzer reports unbounded channel and network waits on transport
@@ -57,48 +56,25 @@ func run(pass *analysis.Pass) error {
 	if !Packages[pass.Pkg.Path()] {
 		return nil
 	}
+	pkg := pass.Prog.PackageOf(pass.Pkg)
+	if pkg == nil {
+		return nil
+	}
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			checkFunc(pass, fd)
+			checkFunc(pass, pkg, fd)
 		}
 	}
 	return nil
 }
 
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
-	// Pass 1: collect operations that live inside a select with an
-	// escape hatch, and whether any deadline is armed in this function.
-	exempt := map[ast.Node]bool{}
-	armsDeadline := false
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.SelectStmt:
-			hasDefault := false
-			for _, cl := range n.Body.List {
-				if cl.(*ast.CommClause).Comm == nil {
-					hasDefault = true
-				}
-			}
-			if hasDefault || len(n.Body.List) >= 2 {
-				for _, cl := range n.Body.List {
-					markComm(exempt, cl.(*ast.CommClause).Comm)
-				}
-			}
-		case *ast.CallExpr:
-			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
-				switch sel.Sel.Name {
-				case "SetDeadline", "SetReadDeadline", "SetWriteDeadline":
-					armsDeadline = true
-				}
-			}
-		}
-		return true
-	})
-	// Pass 2: report unbounded operations.
+func checkFunc(pass *analysis.Pass, pkg *analysis.Package, fd *ast.FuncDecl) {
+	exempt := analysis.SelectEscapes(fd.Body)
+	armed := analysis.ArmsDeadline(fd.Body)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.SendStmt:
@@ -106,112 +82,22 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 				pass.Reportf(n.Pos(), "unbounded channel send on a transport path; give the select an escape case or waive with //gkalint:unbounded <reason>")
 			}
 		case *ast.UnaryExpr:
-			if n.Op != token.ARROW || exempt[n] || boundedSource(pass, n.X) {
+			if n.Op != token.ARROW || exempt[n] || analysis.BoundedRecv(pass.Info, n.X) {
 				return true
 			}
 			pass.Reportf(n.Pos(), "unbounded channel receive on a transport path; select against a timeout/done case or waive with //gkalint:unbounded <reason>")
 		case *ast.RangeStmt:
-			if t := pass.Info.Types[n.X].Type; t != nil {
-				if _, ok := t.Underlying().(*types.Chan); ok {
-					pass.Reportf(n.Pos(), "for-range over a channel blocks unboundedly between messages; waive with //gkalint:unbounded <reason> if this worker FIFO is unbounded by design")
-				}
+			if desc, ok := analysis.BlockingNode(pkg, n, exempt); ok && desc == "for-range over a channel" {
+				pass.Reportf(n.Pos(), "for-range over a channel blocks unboundedly between messages; waive with //gkalint:unbounded <reason> if this worker FIFO is unbounded by design")
 			}
 		case *ast.CallExpr:
-			checkConnIO(pass, n, armsDeadline)
+			if armed {
+				return true
+			}
+			if desc, kind, ok := analysis.BlockingCall(pkg, n); ok && kind == analysis.BlockIO {
+				pass.Reportf(n.Pos(), "%s in a function that never arms SetDeadline; bound the wait or waive with //gkalint:unbounded <reason>", desc)
+			}
 		}
 		return true
 	})
-}
-
-// markComm registers a comm clause's blocking operation as select-guarded.
-func markComm(exempt map[ast.Node]bool, comm ast.Stmt) {
-	switch s := comm.(type) {
-	case *ast.SendStmt:
-		exempt[s] = true
-	case *ast.ExprStmt:
-		if u, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok {
-			exempt[u] = true
-		}
-	case *ast.AssignStmt:
-		for _, r := range s.Rhs {
-			if u, ok := ast.Unparen(r).(*ast.UnaryExpr); ok {
-				exempt[u] = true
-			}
-		}
-	}
-}
-
-// boundedSource reports whether a receive operand is inherently bounded:
-// time.After/Tick, a Timer/Ticker C field, or a Done() channel.
-func boundedSource(pass *analysis.Pass, x ast.Expr) bool {
-	switch x := ast.Unparen(x).(type) {
-	case *ast.CallExpr:
-		if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
-			return true
-		}
-		if analysis.CalleePkgPath(pass.Info, x) == "time" {
-			if obj := analysis.CalleeObj(pass.Info, x); obj != nil {
-				switch obj.Name() {
-				case "After", "Tick":
-					return true
-				}
-			}
-		}
-	case *ast.SelectorExpr:
-		if x.Sel.Name != "C" {
-			return false
-		}
-		t := pass.Info.Types[x.X].Type
-		if t == nil {
-			return false
-		}
-		if p, ok := t.Underlying().(*types.Pointer); ok {
-			t = p.Elem()
-		}
-		switch analysis.NamedName(t) {
-		case "time.Timer", "time.Ticker":
-			return true
-		}
-	}
-	return false
-}
-
-// checkConnIO flags deadline-capable I/O in functions that never arm a
-// deadline.
-func checkConnIO(pass *analysis.Pass, call *ast.CallExpr, armsDeadline bool) {
-	if armsDeadline {
-		return
-	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return
-	}
-	// conn.Read/Write style.
-	switch sel.Sel.Name {
-	case "Read", "Write", "ReadFrom", "WriteTo":
-		if deadlineCapable(pass, pass.Info.Types[sel.X].Type) {
-			pass.Reportf(call.Pos(), "%s on a deadline-capable connection in a function that never arms SetDeadline; bound the wait or waive with //gkalint:unbounded <reason>", sel.Sel.Name)
-		}
-		return
-	}
-	// io.ReadFull(conn, …) style.
-	if analysis.CalleePkgPath(pass.Info, call) == "io" && ioHelpers[sel.Sel.Name] {
-		for _, arg := range call.Args {
-			if deadlineCapable(pass, pass.Info.Types[arg].Type) {
-				pass.Reportf(call.Pos(), "io.%s over a deadline-capable connection in a function that never arms SetDeadline; bound the wait or waive with //gkalint:unbounded <reason>", sel.Sel.Name)
-				return
-			}
-		}
-	}
-}
-
-// deadlineCapable reports whether the type's method set includes
-// SetDeadline (net.Conn and anything wrapping it duck-typed).
-func deadlineCapable(pass *analysis.Pass, t types.Type) bool {
-	if t == nil {
-		return false
-	}
-	obj, _, _ := types.LookupFieldOrMethod(t, true, pass.Pkg, "SetDeadline")
-	_, isFn := obj.(*types.Func)
-	return isFn
 }

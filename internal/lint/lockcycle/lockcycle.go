@@ -1,0 +1,48 @@
+// Package lockcycle reports cycles in the global lock-acquisition
+// graph as potential deadlocks. The shared lock engine (analysis.Locks)
+// records an edge A → B wherever the program acquires lock B while
+// (transitively, through any call chain) holding lock A, with locks
+// named at the type level; an elementary cycle in that graph is the
+// classic ABBA deadlock — two call chains that take the same pair of
+// locks in opposite orders — and a self-edge is a re-acquisition of a
+// non-reentrant mutex (e.g. recursion that re-locks, the PR 5 bug
+// shape). The diagnostic spells out every edge of the cycle with the
+// function and call chain that witnesses it, so both halves of the race
+// are in the message.
+//
+// The implementer union behind interface calls over-approximates, so a
+// reported cycle can be infeasible (the two chains can never run against
+// the same lock instances, or an implementer is never registered).
+// Vetted false cycles carry //gkalint:lockcycle <why> on the witnessing
+// line. Operators can render the whole graph with gkalint -lockgraph.
+package lockcycle
+
+import (
+	"idgka/internal/lint/analysis"
+)
+
+// Analyzer reports elementary cycles in the whole-program
+// lock-acquisition graph.
+var Analyzer = &analysis.Analyzer{
+	Name:       "lockcycle",
+	Doc:        "the global lock-acquisition graph must stay acyclic: a cycle is two call chains that can deadlock each other (ABBA), a self-edge a re-acquired non-reentrant mutex",
+	WaiverVerb: "lockcycle",
+	Run:        run,
+}
+
+func run(pass *analysis.Pass) error {
+	pkg := pass.Prog.PackageOf(pass.Pkg)
+	if pkg == nil {
+		return nil
+	}
+	for _, c := range pass.Prog.Locks().Cycles() {
+		// Each cycle is reported exactly once, in the package that owns
+		// its first (deterministically ordered) witnessing edge.
+		e := c.Edges[0]
+		if e.Pkg != pkg {
+			continue
+		}
+		pass.Reportf(e.Pos, "lock cycle %s — %s; break the acquisition order or waive with //gkalint:lockcycle <reason>", c.Key, c.Describe())
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package lockcycle_test
+
+import (
+	"testing"
+
+	"idgka/internal/lint/analysistest"
+	"idgka/internal/lint/lockcycle"
+)
+
+func TestLockCycle(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockcycle.Analyzer, "cycle/...")
+}

@@ -1,0 +1,84 @@
+// Package a holds three deadlock shapes for the cycle detector: the
+// cross-package ABBA (A locks its mutex, calls into b, which calls back
+// through an interface into a), the recursion self-cycle (a method that
+// re-locks its own mutex through recursion), and a vetted false cycle
+// that carries the //gkalint:lockcycle waiver.
+package a
+
+import (
+	"sync"
+
+	"cycle/b"
+)
+
+// A implements b.Poker and holds its own lock around everything.
+type A struct {
+	mu sync.Mutex
+	b  *b.B
+}
+
+// One: a.mu is held while b.Mu is acquired (through Two) AND while a.mu
+// itself is re-acquired (through Two → Poke) — one witnessing line, two
+// cycles.
+func (a *A) One() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.b.Two() // want `lock cycle cycle/a\.A\.mu → cycle/a\.A\.mu` `lock cycle cycle/a\.A\.mu → cycle/b\.B\.Mu → cycle/a\.A\.mu`
+}
+
+// Poke is the interface implementation package b calls back into.
+func (a *A) Poke() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+}
+
+// R is the recursion shape: Relock re-enters itself with the
+// non-reentrant mutex still held.
+type R struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (r *R) Relock() {
+	r.mu.Lock()
+	if r.n > 0 {
+		r.n--
+		r.Relock() // want `lock cycle cycle/a\.R\.mu → cycle/a\.R\.mu`
+	}
+	r.mu.Unlock()
+}
+
+// P/Q form a cycle on paper that production ordering makes infeasible —
+// the vetted-false-cycle case the waiver verb exists for.
+type P struct {
+	mu sync.Mutex
+	q  *Q
+}
+
+type Q struct {
+	mu sync.Mutex
+	p  *P
+}
+
+func (p *P) Left() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	//gkalint:lockcycle construction order pins P-before-Q in production; the Right path only runs in teardown after workers stop
+	p.q.Grab()
+}
+
+func (q *Q) Grab() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+}
+
+func (q *Q) Right() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.p.Hold()
+}
+
+func (p *P) Hold() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+}

@@ -1,0 +1,25 @@
+// Package b is the far side of the cross-package ABBA fixture: it locks
+// its own mutex and then calls back through an interface, which the
+// engine resolves to the implementer in package a — closing the cycle
+// without an import cycle.
+package b
+
+import "sync"
+
+// Poker is the callback interface package a implements.
+type Poker interface {
+	Poke()
+}
+
+// B locks Mu around its callback.
+type B struct {
+	Mu sync.Mutex
+	P  Poker
+}
+
+// Two acquires b's lock and then dispatches through the interface.
+func (b *B) Two() {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	b.P.Poke()
+}

@@ -6,7 +6,8 @@
 //     //gkalint:guard -) may only be read or written while the named
 //     mutex is held, where <path> is spelled relative to the struct
 //     value (guard "mb.mu" on a Session field means s.mb.mu must be
-//     held to touch s.field);
+//     held to touch s.field); writing such a field under only an RLock
+//     is also a race;
 //   - a method whose name ends in Locked runs under the caller's lock:
 //     calling one without holding a lock on the receiver's path is a
 //     race, and re-locking the receiver's mutex inside one is a
@@ -16,15 +17,16 @@
 //     invoking it while any lock is held re-creates the PR 5
 //     re-entrancy deadlock.
 //
-// The lock tracker is a source-order scan: Lock()/RLock() on a
-// sync.Mutex/RWMutex adds the mutex expression to the held set,
-// Unlock()/RUnlock() removes it, nested control-flow blocks work on
-// copies so an early-return Unlock inside an if-branch does not leak
-// into the fallthrough path. Function literals are skipped (their lock
-// state at call time is unknowable statically), as are fields of values
-// freshly constructed in the same function (not yet shared, so not yet
-// guarded). Sites the scan cannot see — e.g. a lock taken by a helper —
-// carry //gkalint:unlocked <why>.
+// v2 rides the shared interprocedural lock engine (analysis.Locks): the
+// held set is maintained by the whole-program walker, so a lock taken by
+// a helper (s.lockMember()), released by a bound method value, or held
+// across an in-place function literal is visible here — the sites that
+// previously forced //gkalint:unlocked waivers are now proven. Guard
+// declarations come from the cross-package annotation index, so a guard
+// declared in one package protects accesses from every other package.
+// Fields of values freshly constructed in the same function stay exempt
+// (not yet shared, so not yet guarded), as do bodies of *Locked methods
+// (under the caller's lock by contract).
 package lockorder
 
 import (
@@ -40,254 +42,102 @@ import (
 // Locked-suffix contract violations, and callbacks invoked under a lock.
 var Analyzer = &analysis.Analyzer{
 	Name:       "lockorder",
-	Doc:        "mutex-guarded fields need their documented lock held; *Locked methods run under the caller's lock; user callbacks only fire after unlock (PR 5)",
+	Doc:        "mutex-guarded fields need their documented lock held (interprocedurally); *Locked methods run under the caller's lock; user callbacks only fire after unlock (PR 5)",
 	WaiverVerb: "unlocked",
 	Run:        run,
 }
 
-const guardVerb = "gkalint:guard"
-
-// guardSet maps "pkgpath.Type" -> field name -> guard path relative to
-// the struct value (e.g. "mu", "mb.mu").
-type guardSet map[string]map[string]string
-
 func run(pass *analysis.Pass) error {
-	guards := collectGuards(pass)
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			s := &scanner{pass: pass, guards: guards, fd: fd, fresh: map[types.Object]bool{}}
-			s.stmts(fd.Body.List, map[string]bool{})
+	pkg := pass.Prog.PackageOf(pass.Pkg)
+	if pkg == nil {
+		return nil
+	}
+	locks := pass.Prog.Locks()
+	for _, fn := range pass.Prog.Funcs() {
+		if fn.Pkg != pkg || fn.Lit != nil || fn.Body() == nil {
+			continue // literals are reached through their enclosing walk
 		}
+		s := &scanner{
+			pass:   pass,
+			fn:     fn,
+			fresh:  map[types.Object]bool{},
+			writes: map[ast.Node]bool{},
+		}
+		locks.Walk(fn, nil, &analysis.LockVisitor{
+			Node:    s.node,
+			Acquire: s.acquire,
+			Call:    s.checkCall,
+		})
 	}
 	return nil
 }
 
-// collectGuards reads //gkalint:guard markers out of struct bodies. A
-// marker guards every field declared after it (in source order) until a
-// //gkalint:guard - marker ends the region.
-func collectGuards(pass *analysis.Pass) guardSet {
-	guards := guardSet{}
-	for _, f := range pass.Files {
-		// Comments inside a struct body may be floating (attached to the
-		// file, not a field), so index them all by position.
-		type marker struct {
-			pos  token.Pos
-			path string
-		}
-		var markers []marker
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				if !strings.HasPrefix(text, "gkalint:guard") {
-					continue
-				}
-				path := strings.TrimSpace(strings.TrimPrefix(text, "gkalint:guard"))
-				markers = append(markers, marker{pos: c.Pos(), path: path})
-			}
-		}
-		ast.Inspect(f, func(n ast.Node) bool {
-			ts, ok := n.(*ast.TypeSpec)
-			if !ok {
-				return true
-			}
-			st, ok := ts.Type.(*ast.StructType)
-			if !ok {
-				return true
-			}
-			typeName := pass.Pkg.Path() + "." + ts.Name.Name
-			for _, fld := range st.Fields.List {
-				// The innermost marker before this field wins.
-				cur := ""
-				for _, m := range markers {
-					if m.pos > st.Struct && m.pos < fld.Pos() {
-						cur = m.path
-					}
-				}
-				if cur == "" || cur == "-" {
-					continue
-				}
-				if guards[typeName] == nil {
-					guards[typeName] = map[string]string{}
-				}
-				for _, name := range fld.Names {
-					guards[typeName][name.Name] = cur
-				}
-			}
-			return true
-		})
-	}
-	return guards
-}
-
-// scanner walks one function body in source order, tracking held locks.
+// scanner holds one declared function's per-walk state.
 type scanner struct {
 	pass   *analysis.Pass
-	guards guardSet
-	fd     *ast.FuncDecl
-	fresh  map[types.Object]bool
+	fn     *analysis.Func
+	fresh  map[types.Object]bool // locals bound to freshly constructed values
+	writes map[ast.Node]bool     // selector nodes that are write targets
 }
 
-// underCallerLock reports whether the scanned function itself runs under the
-// caller's lock (the *Locked naming contract).
-func (s *scanner) underCallerLock() bool { return strings.HasSuffix(s.fd.Name.Name, "Locked") }
+// underCallerLock reports whether the walked function itself runs under
+// the caller's lock (the *Locked naming contract).
+func (s *scanner) underCallerLock() bool {
+	return strings.HasSuffix(s.fn.Decl.Name.Name, "Locked")
+}
 
 // recvName returns the receiver's binding name, or "".
 func (s *scanner) recvName() string {
-	if s.fd.Recv == nil || len(s.fd.Recv.List) == 0 || len(s.fd.Recv.List[0].Names) == 0 {
+	fd := s.fn.Decl
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
 		return ""
 	}
-	return s.fd.Recv.List[0].Names[0].Name
+	return fd.Recv.List[0].Names[0].Name
 }
 
-func copyHeld(held map[string]bool) map[string]bool {
-	c := make(map[string]bool, len(held))
-	for k := range held {
-		c[k] = true
-	}
-	return c
-}
-
-func (s *scanner) stmts(list []ast.Stmt, held map[string]bool) {
-	for _, st := range list {
-		s.stmt(st, held)
-	}
-}
-
-func (s *scanner) stmt(st ast.Stmt, held map[string]bool) {
-	switch st := st.(type) {
-	case *ast.ExprStmt:
-		if mutex, op, ok := lockOp(s.pass, st.X); ok {
-			s.transition(mutex, op, st.Pos(), held)
-			return
-		}
-		s.expr(st.X, held)
+// node is the walker hook: it marks write targets and fresh locals when
+// a statement comes by, and checks guarded accesses on selectors.
+func (s *scanner) node(n ast.Node, held analysis.HeldSet) bool {
+	switch n := n.(type) {
 	case *ast.AssignStmt:
-		for _, r := range st.Rhs {
-			s.expr(r, held)
+		for _, l := range n.Lhs {
+			s.markWrite(l)
 		}
-		for _, l := range st.Lhs {
-			s.expr(l, held)
+		if n.Tok == token.DEFINE {
+			s.trackFresh(n)
 		}
-		if st.Tok == token.DEFINE {
-			s.trackFresh(st)
-		}
-	case *ast.DeferStmt:
-		// defer x.mu.Unlock() keeps the lock held for the remainder of
-		// the scan — which is exactly the runtime behavior until return.
-		if _, _, ok := lockOp(s.pass, st.Call); ok {
+	case *ast.IncDecStmt:
+		s.markWrite(n.X)
+	case *ast.SelectorExpr:
+		s.checkAccess(n, held)
+	}
+	return true
+}
+
+// markWrite records the selector a write lands on, unwrapping indexing
+// and dereferences (m.counts[k]++ writes m.counts).
+func (s *scanner) markWrite(e ast.Expr) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			s.writes[x] = true
+			return
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
 			return
 		}
-		s.expr(st.Call, held)
-	case *ast.GoStmt:
-		// The goroutine body runs later, without this function's locks.
-		if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
-			gs := &scanner{pass: s.pass, guards: s.guards, fd: s.fd, fresh: s.fresh}
-			gs.stmts(fl.Body.List, map[string]bool{})
-		}
-		for _, a := range st.Call.Args {
-			s.expr(a, held)
-		}
-	case *ast.ReturnStmt:
-		for _, r := range st.Results {
-			s.expr(r, held)
-		}
-	case *ast.IfStmt:
-		if st.Init != nil {
-			s.stmt(st.Init, held)
-		}
-		s.expr(st.Cond, held)
-		s.stmts(st.Body.List, copyHeld(held))
-		if st.Else != nil {
-			s.stmt(st.Else, copyHeld(held))
-		}
-	case *ast.BlockStmt:
-		s.stmts(st.List, held)
-	case *ast.ForStmt:
-		if st.Init != nil {
-			s.stmt(st.Init, held)
-		}
-		if st.Cond != nil {
-			s.expr(st.Cond, held)
-		}
-		s.stmts(st.Body.List, copyHeld(held))
-	case *ast.RangeStmt:
-		s.expr(st.X, held)
-		s.stmts(st.Body.List, copyHeld(held))
-	case *ast.SwitchStmt:
-		if st.Init != nil {
-			s.stmt(st.Init, held)
-		}
-		if st.Tag != nil {
-			s.expr(st.Tag, held)
-		}
-		for _, cc := range st.Body.List {
-			s.stmts(cc.(*ast.CaseClause).Body, copyHeld(held))
-		}
-	case *ast.TypeSwitchStmt:
-		for _, cc := range st.Body.List {
-			s.stmts(cc.(*ast.CaseClause).Body, copyHeld(held))
-		}
-	case *ast.SelectStmt:
-		for _, cc := range st.Body.List {
-			s.stmts(cc.(*ast.CommClause).Body, copyHeld(held))
-		}
-	case *ast.LabeledStmt:
-		s.stmt(st.Stmt, held)
-	case *ast.IncDecStmt:
-		s.expr(st.X, held)
-	case *ast.SendStmt:
-		s.expr(st.Chan, held)
-		s.expr(st.Value, held)
-	case *ast.DeclStmt:
-		if gd, ok := st.Decl.(*ast.GenDecl); ok {
-			for _, sp := range gd.Specs {
-				if vs, ok := sp.(*ast.ValueSpec); ok {
-					for _, v := range vs.Values {
-						s.expr(v, held)
-					}
-				}
-			}
-		}
 	}
 }
 
-// transition applies a Lock/Unlock statement to the held set, checking
-// the Locked-suffix deadlock rule on the way.
-func (s *scanner) transition(mutex, op string, pos token.Pos, held map[string]bool) {
-	switch op {
-	case "Lock", "RLock":
-		if s.underCallerLock() && s.recvName() != "" && strings.HasPrefix(mutex, s.recvName()+".") {
-			s.pass.Reportf(pos, "%s runs under the caller's lock (Locked suffix) but locks %s itself: deadlock", s.fd.Name.Name, mutex)
-		}
-		held[mutex] = true
-	case "Unlock", "RUnlock":
-		delete(held, mutex)
+// acquire enforces the Locked-suffix deadlock rule: a method that runs
+// under the caller's lock must not re-lock the receiver's mutex.
+func (s *scanner) acquire(mutex, canon string, mode analysis.LockMode, pos token.Pos, held analysis.HeldSet) {
+	if s.underCallerLock() && s.recvName() != "" && strings.HasPrefix(mutex, s.recvName()+".") {
+		s.pass.Reportf(pos, "%s runs under the caller's lock (Locked suffix) but locks %s itself: deadlock", s.fn.Decl.Name.Name, mutex)
 	}
-}
-
-// lockOp matches x.mu.Lock()-shaped calls on sync mutexes.
-func lockOp(pass *analysis.Pass, e ast.Expr) (mutex, op string, ok bool) {
-	call, isCall := ast.Unparen(e).(*ast.CallExpr)
-	if !isCall {
-		return "", "", false
-	}
-	sel, isSel := call.Fun.(*ast.SelectorExpr)
-	if !isSel {
-		return "", "", false
-	}
-	switch sel.Sel.Name {
-	case "Lock", "RLock", "Unlock", "RUnlock":
-	default:
-		return "", "", false
-	}
-	if !analysis.IsMutex(pass.Info.Types[sel.X].Type) {
-		return "", "", false
-	}
-	return types.ExprString(sel.X), sel.Sel.Name, true
 }
 
 // trackFresh records locals bound to values constructed in this
@@ -317,27 +167,9 @@ func (s *scanner) trackFresh(st *ast.AssignStmt) {
 	}
 }
 
-// expr checks all accesses and calls inside one expression.
-func (s *scanner) expr(e ast.Expr, held map[string]bool) {
-	if e == nil {
-		return
-	}
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			return false // lock state at call time is unknowable
-		case *ast.CallExpr:
-			s.checkCall(n, held)
-		case *ast.SelectorExpr:
-			s.checkAccess(n, held)
-		}
-		return true
-	})
-}
-
 // checkCall enforces the *Locked calling contract and the
 // callback-after-unlock rule.
-func (s *scanner) checkCall(call *ast.CallExpr, held map[string]bool) {
+func (s *scanner) checkCall(call *ast.CallExpr, callee *analysis.Func, held analysis.HeldSet) {
 	// User callbacks must not run under any lock.
 	if key := s.callbackKey(call); key != "" && len(held) > 0 {
 		s.pass.Reportf(call.Pos(), "user callback %s invoked while a lock is held (%s); release the lock first — the callback may re-enter and deadlock", key, oneOf(held))
@@ -363,13 +195,14 @@ func (s *scanner) checkCall(call *ast.CallExpr, held map[string]bool) {
 	}
 }
 
-// checkAccess enforces guarded-field access.
-func (s *scanner) checkAccess(sel *ast.SelectorExpr, held map[string]bool) {
+// checkAccess enforces guarded-field access: the documented lock must be
+// held, and held exclusively when the access is a write.
+func (s *scanner) checkAccess(sel *ast.SelectorExpr, held analysis.HeldSet) {
 	fld, owner, ok := analysis.FieldOf(s.pass.Info, sel)
 	if !ok {
 		return
 	}
-	guard := s.guards[owner][fld.Name()]
+	guard := s.pass.Index.Guard(owner, fld.Name())
 	if guard == "" {
 		return
 	}
@@ -382,10 +215,14 @@ func (s *scanner) checkAccess(sel *ast.SelectorExpr, held map[string]bool) {
 		}
 	}
 	required := types.ExprString(sel.X) + "." + guard
-	if held[required] {
+	hi, isHeld := held[required]
+	if !isHeld {
+		s.pass.Reportf(sel.Pos(), "%s.%s is guarded by %s, which is not held here; lock it or waive with //gkalint:unlocked <reason>", types.ExprString(sel.X), fld.Name(), required)
 		return
 	}
-	s.pass.Reportf(sel.Pos(), "%s.%s is guarded by %s, which is not held here; lock it or waive with //gkalint:unlocked <reason>", types.ExprString(sel.X), fld.Name(), required)
+	if s.writes[sel] && hi.Mode == analysis.LockRead {
+		s.pass.Reportf(sel.Pos(), "%s.%s is written while %s is only read-locked (RLock); writes need the exclusive Lock", types.ExprString(sel.X), fld.Name(), required)
+	}
 }
 
 // callbackKey resolves a call to an annotated callback field or method.
@@ -422,7 +259,7 @@ func calleeName(call *ast.CallExpr) string {
 	return ""
 }
 
-func oneOf(held map[string]bool) string {
+func oneOf(held analysis.HeldSet) string {
 	for m := range held {
 		return m
 	}

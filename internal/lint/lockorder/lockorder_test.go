@@ -10,3 +10,17 @@ import (
 func TestLockOrder(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer, "a")
 }
+
+// TestHeldSetRegressions pins the engine's held-set tracking: deferred
+// unlocks, early-return branch copies, RLock/Lock write asymmetry, and
+// recursion convergence.
+func TestHeldSetRegressions(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer, "regress")
+}
+
+// TestCrossPackageGuards runs the multi-package fixture: the guard is
+// declared (and the lock taken, via a helper) in lockfix/store while the
+// guarded field is touched from lockfix/svc.
+func TestCrossPackageGuards(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer, "lockfix/...")
+}

@@ -109,7 +109,44 @@ func (s *Session) pathRacy() bool {
 	return s.done // want `s\.done is guarded by s\.mb\.mu, which is not held here`
 }
 
-func (s *Session) waivedRacy() bool {
-	//gkalint:unlocked read-only snapshot for metrics; staleness is acceptable
-	return s.done
+// lockMember/unlockMember take the member lock on the session's behalf.
+// Before the interprocedural engine these helpers forced an
+// //gkalint:unlocked waiver at every call site; v2 proves them.
+func (s *Session) lockMember()   { s.mb.mu.Lock() }
+func (s *Session) unlockMember() { s.mb.mu.Unlock() }
+
+func (s *Session) viaHelpers() bool {
+	s.lockMember()
+	defer s.unlockMember()
+	return s.done // helper-taken lock is visible here
+}
+
+func (s *Session) viaMethodValues() bool {
+	lock, unlock := s.lockMember, s.unlockMember
+	lock()
+	done := s.done // bound method value still carries the lock effect
+	unlock()
+	return done
+}
+
+func (mb *Member) closureHeld() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	n := 0
+	func() { n = len(mb.sessions) }() // in-place literal: held set flows in
+	return n
+}
+
+func (mb *Member) closureRacy() func() bool {
+	return func() bool {
+		return mb.dead["x"] // want `mb\.dead is guarded by mb\.mu, which is not held here`
+	}
+}
+
+func (mb *Member) goRacy() {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	go func() {
+		delete(mb.sessions, "x") // want `mb\.sessions is guarded by mb\.mu, which is not held here`
+	}()
 }

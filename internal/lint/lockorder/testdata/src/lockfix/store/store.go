@@ -1,0 +1,21 @@
+// Package store declares the guard; package svc (the other half of the
+// lockfix fixture) takes the lock through a helper and touches the
+// guarded field from the far side of the import — the cross-package case
+// the annotation index plus the interprocedural engine must carry.
+package store
+
+import "sync"
+
+// Table is shared tabular state guarded by its own mutex.
+type Table struct {
+	Mu sync.Mutex
+	//gkalint:guard Mu
+	Rows map[string]int
+	//gkalint:guard -
+}
+
+// LockTable acquires the table lock on the caller's behalf.
+func (t *Table) LockTable() { t.Mu.Lock() }
+
+// UnlockTable releases it.
+func (t *Table) UnlockTable() { t.Mu.Unlock() }

@@ -1,0 +1,23 @@
+// Package svc touches store's guarded field from across the package
+// boundary: the guard declaration and the lock-taking helper both live
+// in store, so every proof here is interprocedural AND cross-package.
+package svc
+
+import "lockfix/store"
+
+// Sum holds the lock via store's helper — the guard is declared in one
+// package, taken in another.
+func Sum(t *store.Table) int {
+	t.LockTable()
+	defer t.UnlockTable()
+	n := 0
+	for _, v := range t.Rows {
+		n += v
+	}
+	return n
+}
+
+// Racy reads the guarded field with no lock anywhere on the path.
+func Racy(t *store.Table) int {
+	return len(t.Rows) // want `t\.Rows is guarded by t\.Mu, which is not held here`
+}

@@ -1,0 +1,117 @@
+// Package regress pins the lock engine's held-set tracking: deferred
+// unlocks, early-return branch copies, RLock/Lock asymmetry, and
+// fixpoint convergence through recursion. Each case fails if branch-copy
+// state leaks or a summary mis-states a function's net lock effects.
+package regress
+
+import "sync"
+
+// Counter is read-mostly state behind an RWMutex.
+type Counter struct {
+	mu sync.RWMutex
+	//gkalint:guard mu
+	n int
+	//gkalint:guard -
+}
+
+func (c *Counter) Read() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n // RLock suffices for a read
+}
+
+func (c *Counter) badBump() {
+	c.mu.RLock()
+	c.n++ // want `c\.n is written while c\.mu is only read-locked`
+	c.mu.RUnlock()
+}
+
+func (c *Counter) Bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// relockPhases: sequential write-lock and read-lock phases each keep
+// their own mode — the write in the first phase is fine, and the read in
+// the second needs no exclusivity.
+func (c *Counter) relockPhases() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.mu.RLock()
+	_ = c.n
+	c.mu.RUnlock()
+}
+
+// branchRelease: an Unlock inside a branch must not leak into the
+// fallthrough path.
+func (c *Counter) branchRelease(cold bool) int {
+	c.mu.Lock()
+	if cold {
+		c.mu.Unlock()
+		return 0
+	}
+	n := c.n // still held on this path
+	c.mu.Unlock()
+	return n
+}
+
+// branchAcquire: a Lock inside a branch must not leak out either.
+func (c *Counter) branchAcquire(cold bool) int {
+	if cold {
+		c.mu.Lock()
+		c.mu.Unlock()
+	}
+	return c.n // want `c\.n is guarded by c\.mu, which is not held here`
+}
+
+// deferEarly: the deferred unlock keeps the lock held across every
+// early return...
+func (c *Counter) deferEarly(cold bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cold {
+		return 0
+	}
+	return c.n
+}
+
+// ...but the summary still records the release: a caller of deferEarly
+// is NOT left holding c.mu.
+func (c *Counter) afterDeferEarly() int {
+	_ = c.deferEarly(false)
+	return c.n // want `c\.n is guarded by c\.mu, which is not held here`
+}
+
+// Transitive helper chain: the acquisition propagates through two
+// summaries before reaching the access.
+func (c *Counter) lockIt() { c.mu.Lock() }
+func (c *Counter) deep()   { c.lockIt() }
+func (c *Counter) deepest() int {
+	c.deep()
+	n := c.n // lock taken two frames down is visible
+	c.mu.Unlock()
+	return n
+}
+
+// Mutual recursion must converge within the bounded fixpoint without
+// inventing lock effects: neither function nets an acquisition.
+func (c *Counter) ping(depth int) {
+	if depth <= 0 {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+		return
+	}
+	c.pong(depth - 1)
+}
+
+func (c *Counter) pong(depth int) {
+	c.ping(depth)
+}
+
+func (c *Counter) afterRecursion() int {
+	c.ping(3)
+	return c.n // want `c\.n is guarded by c\.mu, which is not held here`
+}

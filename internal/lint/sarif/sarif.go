@@ -1,0 +1,155 @@
+// Package sarif renders gkalint findings as SARIF 2.1.0 — the Static
+// Analysis Results Interchange Format GitHub code scanning ingests — so
+// sweep results annotate pull requests inline. One rule per analyzer,
+// one result per finding; findings covered by a justified //gkalint
+// waiver are emitted with an inSource suppression carrying the waiver's
+// justification, keeping the audit trail machine-readable instead of
+// silently dropping it.
+package sarif
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+
+	"idgka/internal/lint/analysis"
+)
+
+// SchemaURI is the SARIF 2.1.0 schema location.
+const SchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+// Log is the SARIF top-level object.
+type Log struct {
+	Version string `json:"version"`
+	Schema  string `json:"$schema"`
+	Runs    []Run  `json:"runs"`
+}
+
+// Run is one tool invocation.
+type Run struct {
+	Tool    Tool     `json:"tool"`
+	Results []Result `json:"results"`
+}
+
+// Tool wraps the driver description.
+type Tool struct {
+	Driver Driver `json:"driver"`
+}
+
+// Driver describes gkalint and its rules.
+type Driver struct {
+	Name           string `json:"name"`
+	InformationURI string `json:"informationUri,omitempty"`
+	Rules          []Rule `json:"rules"`
+}
+
+// Rule is one analyzer.
+type Rule struct {
+	ID               string  `json:"id"`
+	ShortDescription Message `json:"shortDescription"`
+}
+
+// Message is SARIF's text wrapper.
+type Message struct {
+	Text string `json:"text"`
+}
+
+// Result is one finding.
+type Result struct {
+	RuleID       string        `json:"ruleId"`
+	RuleIndex    int           `json:"ruleIndex"`
+	Level        string        `json:"level"`
+	Message      Message       `json:"message"`
+	Locations    []Location    `json:"locations"`
+	Suppressions []Suppression `json:"suppressions,omitempty"`
+}
+
+// Location anchors a result in a file.
+type Location struct {
+	PhysicalLocation PhysicalLocation `json:"physicalLocation"`
+}
+
+// PhysicalLocation is a file URI plus region.
+type PhysicalLocation struct {
+	ArtifactLocation ArtifactLocation `json:"artifactLocation"`
+	Region           Region           `json:"region"`
+}
+
+// ArtifactLocation is the file, relative to the sweep root.
+type ArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+// Region is the position within the file.
+type Region struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// Suppression records a justified in-source waiver.
+type Suppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// New builds a single-run SARIF log: one rule per analyzer (in suite
+// order), one result per finding. Active findings carry level "error";
+// waiver-suppressed ones carry level "note" plus an inSource suppression
+// with the waiver's justification. File URIs are slash-separated paths
+// relative to root (absolute paths pass through when they do not share
+// the root).
+func New(analyzers []*analysis.Analyzer, findings []analysis.Finding, root string) *Log {
+	driver := Driver{Name: "gkalint"}
+	ruleIndex := map[string]int{}
+	for _, a := range analyzers {
+		ruleIndex[a.Name] = len(driver.Rules)
+		driver.Rules = append(driver.Rules, Rule{
+			ID:               a.Name,
+			ShortDescription: Message{Text: a.Doc},
+		})
+	}
+	results := make([]Result, 0, len(findings))
+	for _, f := range findings {
+		r := Result{
+			RuleID:    f.Analyzer,
+			RuleIndex: ruleIndex[f.Analyzer],
+			Level:     "error",
+			Message:   Message{Text: f.Message},
+			Locations: []Location{{PhysicalLocation: PhysicalLocation{
+				ArtifactLocation: ArtifactLocation{URI: relURI(root, f.Pos.Filename)},
+				Region:           Region{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+			}}},
+		}
+		if f.Suppressed {
+			r.Level = "note"
+			r.Suppressions = []Suppression{{Kind: "inSource", Justification: f.Justification}}
+		}
+		results = append(results, r)
+	}
+	return &Log{
+		Version: "2.1.0",
+		Schema:  SchemaURI,
+		Runs:    []Run{{Tool: Tool{Driver: driver}, Results: results}},
+	}
+}
+
+// relURI renders a file path relative to root with forward slashes.
+func relURI(root, file string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) && rel != ".." && !hasDotDotPrefix(rel) {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}
+
+func hasDotDotPrefix(rel string) bool {
+	return len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
+}
+
+// Encode writes the log as indented JSON.
+func (l *Log) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(l)
+}

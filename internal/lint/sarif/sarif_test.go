@@ -1,0 +1,100 @@
+package sarif_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"idgka/internal/lint/analysis"
+	"idgka/internal/lint/sarif"
+)
+
+func TestNew(t *testing.T) {
+	analyzers := []*analysis.Analyzer{
+		{Name: "alpha", Doc: "first invariant"},
+		{Name: "beta", Doc: "second invariant"},
+	}
+	root := filepath.Join("/", "repo")
+	findings := []analysis.Finding{
+		{
+			Analyzer: "beta",
+			Pos:      token.Position{Filename: filepath.Join(root, "pkg", "f.go"), Line: 7, Column: 3},
+			Message:  "beta fired",
+		},
+		{
+			Analyzer:      "alpha",
+			Pos:           token.Position{Filename: filepath.Join(root, "g.go"), Line: 2, Column: 1},
+			Message:       "alpha fired but was waived",
+			Suppressed:    true,
+			Justification: "vetted: bounded by construction",
+		},
+	}
+	log := sarif.New(analyzers, findings, root)
+
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("envelope: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "gkalint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != 2 || run.Tool.Driver.Rules[0].ID != "alpha" || run.Tool.Driver.Rules[1].ID != "beta" {
+		t.Fatalf("rules = %+v", run.Tool.Driver.Rules)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d", len(run.Results))
+	}
+
+	active := run.Results[0]
+	if active.RuleID != "beta" || active.RuleIndex != 1 || active.Level != "error" {
+		t.Errorf("active result: %+v", active)
+	}
+	loc := active.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "pkg/f.go" {
+		t.Errorf("active URI = %q, want repo-relative slash path", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 7 || loc.Region.StartColumn != 3 {
+		t.Errorf("active region = %+v", loc.Region)
+	}
+	if len(active.Suppressions) != 0 {
+		t.Errorf("active result carries suppressions: %+v", active.Suppressions)
+	}
+
+	waived := run.Results[1]
+	if waived.Level != "note" || len(waived.Suppressions) != 1 {
+		t.Fatalf("suppressed result: %+v", waived)
+	}
+	if s := waived.Suppressions[0]; s.Kind != "inSource" || s.Justification != "vetted: bounded by construction" {
+		t.Errorf("suppression = %+v", s)
+	}
+}
+
+func TestEncodeRoundTrips(t *testing.T) {
+	log := sarif.New([]*analysis.Analyzer{{Name: "alpha", Doc: "d"}}, nil, "")
+	var buf bytes.Buffer
+	if err := log.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"$schema"`) {
+		t.Errorf("encoded log missing $schema: %s", buf.String())
+	}
+	var back sarif.Log
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if back.Version != "2.1.0" {
+		t.Errorf("round-tripped version = %q", back.Version)
+	}
+}
+
+func TestFileOutsideRootKeepsAbsolutePath(t *testing.T) {
+	f := analysis.Finding{Analyzer: "alpha", Pos: token.Position{Filename: filepath.Join("/", "elsewhere", "x.go"), Line: 1}}
+	log := sarif.New([]*analysis.Analyzer{{Name: "alpha"}}, []analysis.Finding{f}, filepath.Join("/", "repo"))
+	uri := log.Runs[0].Results[0].Locations[0].PhysicalLocation.ArtifactLocation.URI
+	if !strings.HasPrefix(uri, "/elsewhere") {
+		t.Errorf("URI = %q, want absolute fallback", uri)
+	}
+}

@@ -532,6 +532,7 @@ func (n *node) fail(err error) {
 	}
 	for seq, ch := range n.done {
 		delete(n.done, seq)
+		//gkalint:blocked the buffered (cap 1) slot is deleted first, so this lone send cannot park while n.mu is held
 		ch <- err //gkalint:unbounded confirmation channels are buffered (cap 1); deleting the slot first makes this the only sender
 	}
 	n.arrive.Broadcast()

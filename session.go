@@ -361,6 +361,7 @@ func (mb *Member) ConfirmSession(sid, base string) (*Session, error) {
 // or be prepared to drain both paths.
 func (mb *Member) HandlePacket(p Packet) []Packet {
 	mb.mu.Lock()
+	//gkalint:blocked the engine pool's semaphore is drained by CPU-only workers that always finish; the wait under mb.mu is bounded by construction
 	outs, evts := mb.inner.Machine().Step(netsim.Message{
 		From: p.From, To: p.To, Type: p.Type, Payload: p.Payload,
 	})
@@ -379,6 +380,7 @@ func (s *Session) SID() string { return s.sid }
 // never an error.
 func (s *Session) HandleMessage(p Packet) error {
 	s.mb.mu.Lock()
+	//gkalint:blocked the engine pool's semaphore is drained by CPU-only workers that always finish; the wait under mb.mu is bounded by construction
 	outs, evts := s.mb.inner.Machine().Step(netsim.Message{
 		From: p.From, To: p.To, Type: p.Type, Payload: p.Payload,
 	})
